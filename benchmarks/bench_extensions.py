@@ -1,0 +1,77 @@
+"""Benches for the extension algorithms (beyond the paper's evaluation).
+
+The *quality ladder*: ½-approximate LD → path growing → (2/3 − ε)
+augmentation → 2/3 fixed point → exact blossom, with measured quality and
+wall time on a shared instance — quantifying the paper's future-work
+direction ("matching schemes targeting higher quality guarantees").
+"""
+
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.harness.datasets import quality_instance
+from repro.harness.report import format_table
+from repro.matching.augmenting import (
+    random_augmentation_matching,
+    two_thirds_matching,
+)
+from repro.matching.b_matching import b_suitor, greedy_b_matching
+from repro.matching.blossom import blossom_mwm
+from repro.matching.ld_seq import ld_seq
+from repro.matching.path_growing import path_growing_matching
+from repro.harness.datasets import load_dataset
+
+
+def test_quality_ladder(benchmark, results_dir):
+    g = quality_instance("GAP-kron")
+    opt = blossom_mwm(g)
+
+    ladder = [
+        ("LD (1/2)", lambda: ld_seq(g, collect_stats=False)),
+        ("path growing (1/2)", lambda: path_growing_matching(g)),
+        ("Pettie-Sanders (2/3-eps)",
+         lambda: random_augmentation_matching(g, epsilon=0.1, seed=1)),
+        ("2/3 fixed point", lambda: two_thirds_matching(g)),
+        ("blossom (exact)", lambda: blossom_mwm(g)),
+    ]
+    rows = []
+    for name, fn in ladder:
+        t0 = time.perf_counter()
+        r = fn()
+        dt = time.perf_counter() - t0
+        rows.append([name, r.weight, 100.0 * r.weight / opt.weight, dt])
+
+    # benchmark the midpoint of the ladder for the pytest-benchmark table
+    run_once(benchmark, two_thirds_matching, g)
+
+    text = format_table(
+        ["algorithm", "weight", "% of optimal", "wall time (s)"],
+        rows, floatfmt=".3f",
+        title=f"Quality ladder on {g.name} "
+              f"(|V|={g.num_vertices}, |E|={g.num_edges})",
+    )
+    print("\n" + text)
+    (results_dir / "extension_quality_ladder.txt").write_text(text + "\n")
+
+    quality = [row[2] for row in rows]
+    # monotone ladder: each rung at least as good (small float slack)
+    assert quality[2] >= quality[0] - 1e-6
+    assert quality[3] >= quality[2] - 1e-6
+    assert quality[4] == pytest.approx(100.0)
+    assert quality[3] >= 200.0 / 3.0  # the 2/3 guarantee
+
+
+def test_b_suitor_throughput(benchmark, results_dir):
+    g = load_dataset("com-Orkut")
+    r = benchmark.pedantic(b_suitor, args=(g, 3), rounds=2, iterations=1)
+    gr = greedy_b_matching(g, 3)
+    assert r.edge_set() == gr.edge_set()
+    text = (
+        f"b-Suitor on {g.name}: b=3, {r.num_matched_edges} matched "
+        f"edges, weight {r.weight:.3f}, "
+        f"{r.stats['proposals']} proposals"
+    )
+    print("\n" + text)
+    (results_dir / "extension_b_suitor.txt").write_text(text + "\n")

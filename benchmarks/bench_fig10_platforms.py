@@ -1,0 +1,20 @@
+"""Fig. 10 — DGX-A100 (8xA100/SXM4) vs DGX-2 (16xV100/SXM3) scalability
+on GAP-kron and com-Friendster, with batch counts annotated.
+
+Paper: the newer platform wins at every matched device count, and 8
+A100s beat 16 V100s.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import fig10_platforms
+
+
+def test_fig10_platforms(benchmark, record_table):
+    result = run_once(benchmark, fig10_platforms)
+    record_table(result, floatfmt=".4f")
+    times = {(r[0], r[1], r[2]): r[4] for r in result.rows}
+    for (g, plat, nd), t in times.items():
+        if plat == "DGX-A100" and (g, "DGX-2", nd) in times:
+            assert t < times[(g, "DGX-2", nd)], (g, nd)
+    for g in ("GAP-kron", "com-Friendster"):
+        assert times[(g, "DGX-A100", 8)] < times[(g, "DGX-2", 16)], g

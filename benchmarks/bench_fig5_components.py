@@ -1,0 +1,28 @@
+"""Fig. 5 — component-wise timing breakdown across device counts.
+
+Paper headline: synchronisation + communication (the two allreduces,
+batch transfers, explicit syncs) dominate ~90% of execution time for
+multi-GPU runs, while single-GPU runs are pointing-dominated.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import fig5_components
+from repro.gpusim.timeline import COMPONENTS
+
+
+def test_fig5_components(benchmark, record_table):
+    result = run_once(benchmark, fig5_components)
+    record_table(result, floatfmt=".1f")
+    comm_cols = [result.headers.index(c) for c in
+                 ("allreduce_pointers", "allreduce_mate",
+                  "batch_transfer", "sync")]
+    point_col = result.headers.index("pointing")
+    for row in result.rows:
+        total = sum(row[2:])
+        assert abs(total - 100.0) < 0.5
+        comm = sum(row[c] for c in comm_cols)
+        if row[1] >= 4:
+            assert comm > 50.0, row  # multi-GPU: comm dominates
+    singles = [row for row in result.rows if row[1] == 1]
+    # at least one single-GPU run is pointing-heavy (paper: ~50%)
+    assert any(row[point_col] > 40.0 for row in singles)

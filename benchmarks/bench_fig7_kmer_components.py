@@ -1,0 +1,25 @@
+"""Fig. 7 — kmer_U1a component breakdown under forced batching.
+
+With one batch the collectives dominate at multi-GPU; with forced
+streaming batches the transfer component dominates but shrinks as
+devices split the working set.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import fig7_kmer_components
+
+
+def test_fig7_kmer_components(benchmark, record_table):
+    result = run_once(benchmark, fig7_kmer_components)
+    record_table(result, floatfmt=".1f")
+    t_col = result.headers.index("batch_transfer")
+    ar_cols = [result.headers.index("allreduce_pointers"),
+               result.headers.index("allreduce_mate")]
+    for row in result.rows:
+        nb, nd = row[0], row[1]
+        if nb == 1 and nd >= 4:
+            assert sum(row[c] for c in ar_cols) > 50.0, row
+        if nb > 1:
+            # transfers dominate, less so at 8 GPUs where the collectives
+            # grow with device count
+            assert row[t_col] > (30.0 if nd >= 8 else 50.0), row

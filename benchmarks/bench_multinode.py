@@ -1,0 +1,45 @@
+"""Bench: the multi-node LD extension (beyond the paper's evaluation).
+
+Compares cluster shapes at equal total GPU counts and verifies the
+structural claims: identical matchings everywhere, node-local shapes win
+at equal GPU counts, and communication fraction grows with node count.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.graph.generators import kmer_graph
+from repro.harness.report import format_table
+from repro.matching.ld_multinode import ld_multinode
+from repro.matching.ld_seq import ld_seq
+
+
+def test_multinode_shapes(benchmark, results_dir):
+    g = kmer_graph(150_000, avg_degree=2.5, seed=41, name="kmer-mn")
+    ref = ld_seq(g, collect_stats=False)
+
+    shapes = [(1, 8), (2, 4), (4, 2), (2, 8), (4, 4), (4, 8)]
+    rows = []
+    times = {}
+    for nodes, dpn in shapes:
+        if (nodes, dpn) == (1, 8):
+            r = run_once(benchmark, ld_multinode, g,
+                         num_nodes=1, devices_per_node=8,
+                         collect_stats=False)
+        else:
+            r = ld_multinode(g, num_nodes=nodes, devices_per_node=dpn,
+                             collect_stats=False)
+        assert np.array_equal(r.mate, ref.mate), (nodes, dpn)
+        times[(nodes, dpn)] = r.sim_time
+        rows.append([f"{nodes}x{dpn}", nodes * dpn, r.sim_time,
+                     100.0 * r.timeline.communication_fraction()])
+
+    text = format_table(
+        ["shape", "GPUs", "time (s)", "comm %"], rows, floatfmt=".4f",
+        title="LD-MultiNode cluster shapes (kmer analog)",
+    )
+    print("\n" + text)
+    (results_dir / "extension_multinode.txt").write_text(text + "\n")
+
+    # at 8 total GPUs, fewer nodes win
+    assert times[(1, 8)] < times[(2, 4)] < times[(4, 2)]

@@ -1,0 +1,23 @@
+"""Table II — matching quality vs the exact (LEMON-style) optimum.
+
+Runs the from-scratch blossom solver on the blossom-tractable quality
+instances of the seven SMALL datasets and reports the %-below-optimal of
+LD-GPU and SR-OMP.  Paper: 2.6-12.6% per graph, geometric mean 6.38 for
+both algorithms.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import table2_quality
+
+
+def test_table2_quality(benchmark, record_table):
+    result = run_once(benchmark, table2_quality)
+    record_table(result, floatfmt=".2f")
+    geo = result.rows[-1]
+    assert geo[0] == "Geo. Mean"
+    # Paper band: geometric mean ~6.4%; accept 2-15% for the analogs.
+    assert 2.0 < geo[1] < 15.0
+    assert 2.0 < geo[2] < 15.0
+    # LD and Suitor quality nearly identical (both greedy-equivalent).
+    for row in result.rows[:-1]:
+        assert abs(row[1] - row[2]) < 1.0

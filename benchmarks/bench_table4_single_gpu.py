@@ -1,0 +1,19 @@
+"""Table IV — single-GPU LD-GPU vs SR-GPU runtimes.
+
+Paper: SR-GPU's vertices-per-warp load redistribution wins 5/8 (up to
+35x on com-Orkut); LD-GPU stays competitive on the dense inputs.  Our
+model reproduces the SR-GPU majority; see EXPERIMENTS.md for the
+com-Friendster divergence (the paper ran it resident, our memory model
+streams it).
+"""
+
+from conftest import run_once
+from repro.harness.experiments import table4_single_gpu
+
+
+def test_table4_single_gpu(benchmark, record_table):
+    result = run_once(benchmark, table4_single_gpu)
+    record_table(result, floatfmt=".4f")
+    wins = sum(1 for r in result.rows
+               if r[2] is not None and r[2] < r[1])
+    assert wins >= 5  # paper: SR-GPU wins 5/8

@@ -1,0 +1,21 @@
+"""Table V — LD-GPU vs RAPIDS cuGraph MG matching on 4 GPUs.
+
+Paper: cuGraph is 15-443x slower, attributed to its MPI-based (RAFT)
+communication versus NCCL over CUDA streams; our model adds the
+host-staged reductions, full-graph rescans and per-iteration host
+orchestration that produce the order-of-magnitude gap.
+"""
+
+from conftest import run_once
+from repro.harness.experiments import table5_cugraph
+
+
+def test_table5_cugraph(benchmark, record_table):
+    result = run_once(benchmark, table5_cugraph)
+    record_table(result, floatfmt=".4f")
+    # Our comm model is conservative relative to the paper's measured
+    # 12-443x (see EXPERIMENTS.md); the gap must still be a clear
+    # multiple on every input.
+    for row in result.rows:
+        assert row[3] > 3.5, row
+    assert sum(r[3] for r in result.rows) / len(result.rows) > 4.5

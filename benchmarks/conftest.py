@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_table*``/``bench_fig*`` module regenerates one table or
+figure of the paper at full analog scale, times it with pytest-benchmark,
+prints the rendered rows (run with ``-s`` to see them live) and archives
+them under ``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Print an experiment's rendered table and archive it."""
+
+    def _record(result, floatfmt: str = ".4g") -> None:
+        text = result.render(floatfmt=floatfmt)
+        print("\n" + text)
+        (results_dir / f"{result.name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Application: matching-based graph coarsening (AMG-style aggregation).
+
+The paper motivates weighted matching through algebraic multigrid
+preconditioners (D'Ambra et al., its ref. [11]): pairwise aggregation
+merges strongly coupled vertex pairs — exactly a heavy-weight matching —
+to build each coarser level.  This example builds a full coarsening
+hierarchy for a 3D FEM analog with LD-GPU as the aggregation engine and
+reports level sizes, matched fractions, and preserved edge weight.
+
+Run:  python examples/amg_coarsening.py
+"""
+
+from repro.graph.coarsen import coarsen_hierarchy
+from repro.graph.generators import fem_mesh_3d
+from repro.harness.report import format_table
+from repro.matching.ld_gpu import ld_gpu
+
+
+def main() -> None:
+    g = fem_mesh_3d(14, radius=1, seed=5, name="fem")
+    print(f"fine grid: {g!r}\n")
+
+    levels = coarsen_hierarchy(
+        g,
+        matcher=lambda lv: ld_gpu(lv, num_devices=2,
+                                  collect_stats=False),
+        min_vertices=50,
+        max_levels=12,
+    )
+    rows = []
+    for level, lv in enumerate(levels):
+        if lv.matching is not None:
+            matched_frac = lv.matching.num_matched_vertices / \
+                lv.graph.num_vertices
+            rows.append([level, lv.graph.num_vertices,
+                         lv.graph.num_edges, 100.0 * matched_frac,
+                         lv.matching.weight])
+        else:
+            rows.append([level, lv.graph.num_vertices,
+                         lv.graph.num_edges, None, None])
+
+    print(format_table(
+        ["level", "|V|", "|E|", "matched %", "matching weight"],
+        rows, floatfmt=".1f",
+        title="Pairwise-aggregation hierarchy (LD-GPU as the matcher)",
+    ))
+    depth = len(levels) - 1
+    ratio = rows[0][1] / max(rows[-1][1], 1)
+    print(f"\nTotal coarsening ratio: {ratio:.0f}x over {depth} levels "
+          f"(ideal pairwise halving would give {2 ** depth}x).")
+
+
+if __name__ == "__main__":
+    main()

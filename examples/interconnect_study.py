@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Interconnect and platform what-if study (paper Figs. 9-10).
+
+Uses the simulator's parametric topologies to answer: how much does the
+fabric matter for multi-GPU matching?  Runs the com-Friendster analog on
+
+* DGX-A100 with NVLink SXM4 (the paper's primary platform),
+* the same node restricted to PCIe peer transfers,
+* DGX-2 (16×V100, NVLink SXM3),
+* and a hypothetical 2× NVLink ("next-gen") fabric,
+
+and prints the times and component shares side by side.
+
+Run:  python examples/interconnect_study.py
+"""
+
+from repro.gpusim.spec import DGX_2, DGX_A100, DGX_A100_PCIE
+from repro.harness.datasets import load_dataset, scaled_platform
+from repro.harness.report import format_table
+from repro.matching.ld_gpu import ld_gpu
+
+DATASET = "com-Friendster"
+
+
+def main() -> None:
+    graph = load_dataset(DATASET)
+    nextgen = DGX_A100.with_gpu_link(
+        DGX_A100.gpu_link.scaled(bandwidth_factor=2.0)
+    )
+    platforms = [
+        ("DGX-A100 / NVLink-SXM4", DGX_A100, 8),
+        ("DGX-A100 / PCIe only", DGX_A100_PCIE, 8),
+        ("DGX-2 / NVLink-SXM3", DGX_2, 8),
+        ("DGX-2 / NVLink-SXM3 (16)", DGX_2, 16),
+        ("hypothetical 2x NVLink", nextgen, 8),
+    ]
+
+    print(f"{graph!r}\n")
+    rows = []
+    baseline = None
+    for label, plat, nd in platforms:
+        sp = scaled_platform(DATASET, plat)
+        r = ld_gpu(graph, sp, num_devices=nd, collect_stats=False)
+        if baseline is None:
+            baseline = r.sim_time
+        f = r.timeline.fractions()
+        comm = 100.0 * r.timeline.communication_fraction()
+        rows.append([
+            label, nd, r.sim_time, baseline / r.sim_time,
+            100.0 * f["pointing"], comm,
+        ])
+
+    print(format_table(
+        ["platform", "#GPUs", "time (s)", "vs SXM4", "pointing %",
+         "comm %"],
+        rows, floatfmt=".3f",
+    ))
+    print(
+        "\nWith collectives dominating multi-GPU execution (Fig. 5), the "
+        "fabric's *sustained collective bandwidth* — not its headline "
+        "link rate — sets the end-to-end time; PCIe additionally "
+        "degrades as more devices contend for the shared switches."
+    )
+
+
+if __name__ == "__main__":
+    main()

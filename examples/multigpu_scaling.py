@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Strong-scaling study on a billion-edge-class analog (paper Fig. 4).
+
+Runs LD-GPU on 1–8 simulated A100s for the GAP-kron analog, sweeping the
+batch count at each device count and reporting the best time, the chosen
+configuration, and the per-component breakdown — reproducing the paper's
+superlinear-speedup story: low device counts must stream batches through
+PCIe every iteration; once partitions fit resident, that cost vanishes.
+
+Run:  python examples/multigpu_scaling.py
+"""
+
+from repro.gpusim.memory import DeviceOOMError
+from repro.harness.datasets import load_dataset, scaled_platform
+from repro.harness.report import format_table
+from repro.matching.ld_gpu import ld_gpu
+
+DATASET = "GAP-kron"
+DEVICES = (1, 2, 3, 4, 6, 8)
+BATCHES = (None, 2, 3, 5, 10)
+
+
+def main() -> None:
+    graph = load_dataset(DATASET)
+    platform = scaled_platform(DATASET)
+    print(f"{graph!r}")
+    print(f"platform: {platform.name}, device memory scaled to "
+          f"{platform.device.memory_bytes / 1e6:.1f} MB "
+          f"(matches the paper's edges-to-memory ratio)\n")
+
+    rows = []
+    base = None
+    for nd in DEVICES:
+        best = None
+        for nb in BATCHES:
+            try:
+                r = ld_gpu(graph, platform, num_devices=nd,
+                           num_batches=nb, collect_stats=False)
+            except DeviceOOMError:
+                continue
+            if best is None or r.sim_time < best.sim_time:
+                best = r
+        if best is None:
+            rows.append([nd, None, None, None, None])
+            continue
+        if base is None:
+            base = best.sim_time
+        cfg = best.stats["config"]
+        comm = best.timeline.communication_fraction()
+        rows.append([
+            nd, cfg.num_batches, best.sim_time, base / best.sim_time,
+            100.0 * comm,
+        ])
+
+    print(format_table(
+        ["#GPUs", "#batches", "time (s)", "speedup", "comm %"],
+        rows, floatfmt=".3f",
+    ))
+    speedups = [r[3] for r in rows if r[3] is not None]
+    if max(speedups) > len(DEVICES):
+        print("\nSuperlinear region found — the batched low-device "
+              "configurations pay per-iteration transfer costs that "
+              "resident partitions avoid (the paper's Fig. 4 effect).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quality study: how far below optimal is each matching heuristic?
+
+Compares every approximation algorithm in the library against the exact
+blossom optimum across four structural graph classes (paper Table II,
+extended with greedy / LocalMax / auction).  The locally dominant family
+(LD, Suitor, greedy, LocalMax) produces the *same* matching under the
+shared total order; the red-blue auction is visibly worse — the reason
+the paper's lineage abandoned it (§II-C).
+
+Run:  python examples/quality_study.py
+"""
+
+from repro.harness.report import format_table
+from repro.matching.auction import auction_matching
+from repro.matching.blossom import blossom_mwm
+from repro.matching.greedy import greedy_matching
+from repro.matching.ld_seq import ld_seq
+from repro.matching.local_max import local_max
+from repro.matching.suitor import suitor_seq
+from repro.metrics.quality import geometric_mean, percent_below_optimal
+from repro.graph.generators import (
+    kmer_graph,
+    queen_mesh,
+    rmat_graph,
+    similarity_graph,
+)
+
+GRAPHS = [
+    rmat_graph(8, 6, seed=1, name="rmat-skewed"),
+    queen_mesh(18, radius=3, seed=2, name="mesh-regular"),
+    kmer_graph(900, avg_degree=3.5, seed=3, name="kmer-paths"),
+    similarity_graph(400, avg_degree=24, seed=4, name="similarity-dense"),
+]
+
+ALGORITHMS = [
+    ("LD (pointer)", ld_seq),
+    ("Suitor", suitor_seq),
+    ("Greedy", greedy_matching),
+    ("LocalMax", local_max),
+    ("Auction", lambda g: auction_matching(g, seed=0)),
+]
+
+
+def main() -> None:
+    rows = []
+    gaps: dict[str, list[float]] = {name: [] for name, _ in ALGORITHMS}
+    for g in GRAPHS:
+        opt = blossom_mwm(g)
+        row = [g.name, opt.weight]
+        for name, fn in ALGORITHMS:
+            gap = percent_below_optimal(fn(g).weight, opt.weight)
+            gaps[name].append(gap)
+            row.append(gap)
+        rows.append(row)
+
+    rows.append(["Geo. Mean", None] + [
+        geometric_mean(gaps[name]) for name, _ in ALGORITHMS
+    ])
+    print(format_table(
+        ["graph", "OPT weight"] + [n for n, _ in ALGORITHMS],
+        rows, floatfmt=".2f",
+        title="% below the exact optimum (lower is better)",
+    ))
+    print(
+        "\nThe four locally dominant variants coincide (same total "
+        "order ⇒ same matching); the auction's colour splits cost it "
+        "extra weight."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Application: matching a streaming graph.
+
+Online marketplaces, ride matching and interconnect schedulers see their
+graphs as *streams* of edge events. `DynamicMatcher` maintains a valid,
+maximal matching across inserts/deletes with O(degree) local repairs;
+this example feeds it a mixed stream, tracks quality drift against
+from-scratch LD rebuilds, and shows the periodic-rebuild pattern.
+
+Run:  python examples/streaming_matching.py
+"""
+
+import numpy as np
+
+from repro.harness.report import format_table
+from repro.matching.dynamic import DynamicMatcher
+
+NUM_VERTICES = 400
+STREAM_LENGTH = 4000
+CHECK_EVERY = 500
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    dm = DynamicMatcher(num_vertices=NUM_VERTICES)
+    live_edges: list[tuple[int, int]] = []
+
+    rows = []
+    for step in range(1, STREAM_LENGTH + 1):
+        # 85% inserts, 15% deletes of a random live edge
+        if live_edges and rng.random() < 0.15:
+            k = int(rng.integers(0, len(live_edges)))
+            a, b = live_edges.pop(k)
+            if b in dm._adj[a]:
+                dm.delete(a, b)
+        else:
+            a, b = rng.integers(0, NUM_VERTICES, 2)
+            if a == b:
+                continue
+            w = float(np.round(rng.random() * 0.999 + 0.001, 3))
+            dm.insert(int(a), int(b), w)
+            live_edges.append((int(a), int(b)))
+
+        if step % CHECK_EVERY == 0:
+            rows.append([
+                step, dm.num_edges, dm.weight,
+                100.0 * dm.drift(),
+            ])
+
+    print(format_table(
+        ["stream step", "live edges", "matching weight",
+         "% of rebuilt weight"],
+        rows, floatfmt=".2f",
+        title=f"Dynamic matching over a {STREAM_LENGTH}-event stream "
+              f"({NUM_VERTICES} vertices)",
+    ))
+
+    worst = min(r[3] for r in rows)
+    print(f"\nworst drift observed: {worst:.1f}% of the from-scratch "
+          f"LD weight — local repairs hold quality close, and a "
+          f"periodic rebuild() resets the gap entirely.")
+    dm.rebuild()
+    print(f"after rebuild: {100.0 * dm.drift():.1f}%")
+
+
+if __name__ == "__main__":
+    main()

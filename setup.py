@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on machines without the ``wheel``
+package (offline build environments); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

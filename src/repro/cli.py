@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro-matching run --algorithm ld_gpu --dataset GAP-kron --devices 4
+    repro-matching sweep --dataset GAP-kron --devices 1 2 4 8
+    repro-matching experiment table1 [--quick]
+    repro-matching list [datasets|algorithms|experiments]
+
+``run`` executes one algorithm on one dataset analog and prints the
+result summary; ``sweep`` runs LD-GPU over a configuration grid;
+``experiment`` regenerates a paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.harness import experiments as exp
+from repro.harness.datasets import (
+    DATASETS,
+    load_dataset,
+    scaled_cpu,
+    scaled_platform,
+)
+from repro.harness.runners import ALGORITHMS, run_algorithm
+from repro.harness.report import format_table
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS: dict[str, Callable[..., "exp.ExperimentResult"]] = {
+    "table1": exp.table1_execution_times,
+    "table2": exp.table2_quality,
+    "table3": exp.table3_a100_vs_v100,
+    "table4": exp.table4_single_gpu,
+    "table5": exp.table5_cugraph,
+    "table6": exp.table6_fom,
+    "fig4": exp.fig4_strong_scaling,
+    "fig5": exp.fig5_components,
+    "fig6": exp.fig6_batch_scaling,
+    "fig7": exp.fig7_kmer_components,
+    "fig8": exp.fig8_warp_work,
+    "fig9": exp.fig9_interconnect,
+    "fig10": exp.fig10_platforms,
+    "fig11": exp.fig11_occupancy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro-matching",
+        description="Multi-GPU locally dominant weighted matching "
+                    "(SC'24 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    runp = sub.add_parser("run", help="run one algorithm on one dataset")
+    runp.add_argument("--algorithm", "-a", required=True,
+                      choices=sorted(ALGORITHMS))
+    runp.add_argument("--dataset", "-d", required=True,
+                      choices=sorted(DATASETS))
+    runp.add_argument("--devices", "-n", type=int, default=1,
+                      help="simulated GPUs (ld_gpu / cugraph)")
+    runp.add_argument("--batches", "-b", type=int, default=None,
+                      help="batches per device (ld_gpu; default auto)")
+    runp.add_argument("--profile", action="store_true",
+                      help="print the per-iteration profiler table "
+                           "(simulator-backed algorithms)")
+    runp.add_argument("--trace", metavar="PATH", default=None,
+                      help="write a chrome://tracing JSON of the run")
+
+    expp = sub.add_parser("experiment",
+                          help="regenerate a paper table/figure")
+    expp.add_argument("name", choices=sorted(EXPERIMENTS))
+    expp.add_argument("--quick", action="store_true",
+                      help="reduced sweep (seconds instead of minutes)")
+
+    sweepp = sub.add_parser(
+        "sweep", help="sweep LD-GPU over device/batch configurations"
+    )
+    sweepp.add_argument("--dataset", "-d", required=True,
+                        choices=sorted(DATASETS))
+    sweepp.add_argument("--devices", "-n", type=int, nargs="+",
+                        default=[1, 2, 4, 8])
+    sweepp.add_argument("--batches", "-b", type=int, nargs="+",
+                        default=None,
+                        help="batch counts (default: auto only)")
+    sweepp.add_argument("--platform", choices=["DGX-A100", "DGX-2",
+                                               "DGX-A100-PCIe"],
+                        default="DGX-A100")
+
+    listp = sub.add_parser("list", help="list registered entities")
+    listp.add_argument("what", choices=["datasets", "algorithms",
+                                        "experiments"])
+    return p
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    g = load_dataset(args.dataset)
+    kwargs: dict = {}
+    if args.algorithm == "ld_gpu":
+        kwargs = {
+            "platform": scaled_platform(args.dataset),
+            "num_devices": args.devices,
+            "num_batches": args.batches,
+        }
+    elif args.algorithm == "cugraph":
+        kwargs = {
+            "platform": scaled_platform(args.dataset),
+            "num_devices": args.devices,
+        }
+    elif args.algorithm == "sr_gpu":
+        kwargs = {"spec": scaled_platform(args.dataset).device}
+    elif args.algorithm == "sr_omp":
+        kwargs = {"cpu": scaled_cpu(args.dataset)}
+    result = run_algorithm(args.algorithm, g, **kwargs)
+    print(f"{g!r}")
+    print(result.summary())
+    if result.timeline is not None:
+        if args.profile:
+            from repro.gpusim.report import profile_report
+
+            print(profile_report(result))
+        else:
+            frac = result.timeline.fractions()
+            rows = [[k, 100.0 * v] for k, v in frac.items() if v > 0]
+            print(format_table(["component", "% time"], rows,
+                               floatfmt=".1f"))
+        if args.trace:
+            from repro.gpusim.trace import Trace
+
+            Trace.from_timeline(result.timeline).save(args.trace)
+            print(f"trace written to {args.trace}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.gpusim.spec import DGX_2, DGX_A100, DGX_A100_PCIE
+    from repro.harness.sweep import sweep_ld_gpu
+
+    base = {"DGX-A100": DGX_A100, "DGX-2": DGX_2,
+            "DGX-A100-PCIe": DGX_A100_PCIE}[args.platform]
+    plat = scaled_platform(args.dataset, base)
+    g = load_dataset(args.dataset)
+    batches = tuple(args.batches) if args.batches else (None,)
+    result = sweep_ld_gpu(g, platforms=(plat,),
+                          device_counts=tuple(args.devices),
+                          batch_counts=batches)
+    print(result.render())
+    best = result.best
+    print(f"\nbest: {best.num_devices} GPUs x "
+          f"{best.num_batches} batches -> {best.time_s:.4f}s")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = EXPERIMENTS[args.name](quick=args.quick)
+    print(result.render())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "datasets":
+        rows = [
+            [s.name, s.group, s.paper_vertices, s.paper_edges, s.notes]
+            for s in DATASETS.values()
+        ]
+        print(format_table(
+            ["name", "group", "paper |V|", "paper |E|", "notes"], rows
+        ))
+    elif args.what == "algorithms":
+        for name in sorted(ALGORITHMS):
+            print(name)
+    else:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-matching`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Host↔device transfer cost model.
+
+Batch loading in LD-GPU issues ``cudaMemcpyAsyncHtoD`` per batch
+(Algorithm 2, LOADBATCH); on both DGX platforms those copies ride the PCIe
+host links regardless of the GPU-GPU fabric.  Pinned staging buffers reach
+close to the link's effective bandwidth; pageable copies lose roughly 40%.
+"""
+
+from __future__ import annotations
+
+from repro.comm.topology import Interconnect
+
+__all__ = ["h2d_time", "d2h_time", "PAGEABLE_PENALTY"]
+
+#: Throughput multiplier for pageable (non-pinned) host memory.
+PAGEABLE_PENALTY = 0.6
+
+
+def h2d_time(nbytes: int, link: Interconnect, pinned: bool = True) -> float:
+    """Seconds for a host→device copy of ``nbytes``."""
+    bw = link.bandwidth_bps * (1.0 if pinned else PAGEABLE_PENALTY)
+    return link.latency_s + nbytes / bw
+
+
+def d2h_time(nbytes: int, link: Interconnect, pinned: bool = True) -> float:
+    """Seconds for a device→host copy of ``nbytes``."""
+    return h2d_time(nbytes, link, pinned)

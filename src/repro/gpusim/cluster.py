@@ -1,0 +1,63 @@
+"""Multi-node cluster specifications.
+
+The paper's concluding remarks look "towards the development of
+distributed matching schemes"; this module describes the hardware side of
+that extension: several dense-GPU nodes joined by an InfiniBand fabric,
+with NCCL-style hierarchical collectives (intra-node NVLink ring +
+inter-node IB ring).  :func:`repro.matching.ld_multinode.ld_multinode`
+runs LD-GPU on such a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.comm.topology import INFINIBAND_HDR, Interconnect
+from repro.gpusim.spec import DGX_A100, PlatformSpec
+
+__all__ = ["ClusterSpec", "DGX_A100_SUPERPOD"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of dense-GPU nodes."""
+
+    name: str
+    node: PlatformSpec
+    num_nodes: int
+    inter_node: Interconnect = INFINIBAND_HDR
+
+    @property
+    def total_devices(self) -> int:
+        """GPUs across the whole cluster."""
+        return self.num_nodes * self.node.max_devices
+
+    def flat_platform(self, devices_per_node: int) -> PlatformSpec:
+        """A :class:`PlatformSpec` view over the whole cluster.
+
+        Used by the LD-GPU engine for per-device specs and host links;
+        the collective cost is supplied separately (hierarchically).
+        """
+        if not 1 <= devices_per_node <= self.node.max_devices:
+            raise ValueError(
+                f"devices_per_node must be in "
+                f"[1, {self.node.max_devices}]"
+            )
+        return replace(
+            self.node,
+            name=f"{self.name}[{self.num_nodes}x{devices_per_node}]",
+            max_devices=self.num_nodes * devices_per_node,
+        )
+
+    def scaled(self, factor: float) -> "ClusterSpec":
+        """Bandwidth/memory scaling of the whole cluster (see
+        :meth:`repro.gpusim.spec.DeviceSpec.scaled`)."""
+        return replace(
+            self,
+            node=self.node.scaled(factor),
+            inter_node=self.inter_node.scaled(bandwidth_factor=factor),
+        )
+
+
+#: A slice of an A100 SuperPOD: four DGX-A100 nodes over HDR InfiniBand.
+DGX_A100_SUPERPOD = ClusterSpec("SuperPOD-4", DGX_A100, 4)

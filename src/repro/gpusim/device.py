@@ -1,0 +1,79 @@
+"""One simulated GPU: memory pool + launch/transfer counters.
+
+A :class:`SimDevice` owns the per-device state LD-GPU allocates in §III-C:
+the partition's CSR rows, the two |V|-sized global arrays (``pointers`` and
+``mate``) and, when batching, the two batch buffers.  NumPy arrays stand in
+for device buffers; the pool enforces the capacity so over-subscribed
+configurations fail with :class:`~repro.gpusim.memory.DeviceOOMError`
+exactly where a real run would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.memory import MemoryPool
+from repro.gpusim.spec import DeviceSpec
+
+__all__ = ["SimDevice"]
+
+
+class SimDevice:
+    """A single simulated device."""
+
+    def __init__(self, device_id: int, spec: DeviceSpec):
+        self.device_id = device_id
+        self.spec = spec
+        self.memory = MemoryPool(spec.memory_bytes, f"{spec.name}#{device_id}")
+        self.kernels_launched = 0
+        self.bytes_h2d = 0
+        self.bytes_d2h = 0
+        self._arrays: dict[str, np.ndarray] = {}
+
+    # -------------------------------------------------------------- #
+    def alloc_array(self, name: str, shape, dtype) -> np.ndarray:
+        """Allocate a named device array (zero-initialised)."""
+        arr = np.zeros(shape, dtype=dtype)
+        self.memory.alloc(name, arr.nbytes)
+        self._arrays[name] = arr
+        return arr
+
+    def register_view(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Account an existing array (e.g. a host CSR view copied to the
+        device once at distribution time) against device memory."""
+        self.memory.alloc(name, array.nbytes)
+        self._arrays[name] = array
+        return array
+
+    def reserve(self, name: str, nbytes: int) -> None:
+        """Account raw capacity (batch buffers) without materialising it."""
+        self.memory.alloc(name, nbytes)
+
+    def free(self, name: str) -> None:
+        """Release a named allocation."""
+        self.memory.free_allocation(name)
+        self._arrays.pop(name, None)
+
+    def array(self, name: str) -> np.ndarray:
+        """Look up a named device array."""
+        return self._arrays[name]
+
+    # -------------------------------------------------------------- #
+    def record_kernel(self) -> None:
+        """Bump the launch counter (diagnostics only)."""
+        self.kernels_launched += 1
+
+    def record_h2d(self, nbytes: int) -> None:
+        """Account host→device traffic."""
+        self.bytes_h2d += int(nbytes)
+
+    def record_d2h(self, nbytes: int) -> None:
+        """Account device→host traffic."""
+        self.bytes_d2h += int(nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimDevice({self.spec.name}#{self.device_id}, "
+            f"mem {self.memory.used}/{self.memory.capacity} B, "
+            f"{self.kernels_launched} kernels)"
+        )

@@ -1,0 +1,112 @@
+"""Per-component time ledger.
+
+Fig. 5 and Fig. 7 of the paper break LD-GPU's execution into the pointing
+and matching phases, the two allreduces, batch-range data transfers and
+explicit synchronisations.  :class:`Timeline` accrues exactly those
+components, per iteration and in total, for the simulated run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Timeline", "COMPONENTS"]
+
+#: The component set of the paper's Fig. 5/7 stacked bars.
+COMPONENTS = (
+    "pointing",
+    "matching",
+    "allreduce_pointers",
+    "allreduce_mate",
+    "batch_transfer",
+    "sync",
+)
+
+
+class Timeline:
+    """Accumulates modeled seconds per component and per iteration."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {c: 0.0 for c in COMPONENTS}
+        self.iterations: list[dict[str, float]] = []
+        self._current: dict[str, float] | None = None
+
+    # -------------------------------------------------------------- #
+    def begin_iteration(self) -> None:
+        """Open a new per-iteration record."""
+        if self._current is not None:
+            raise RuntimeError("previous iteration not closed")
+        self._current = {c: 0.0 for c in COMPONENTS}
+
+    def end_iteration(self) -> None:
+        """Close the current per-iteration record."""
+        if self._current is None:
+            raise RuntimeError("no open iteration")
+        self.iterations.append(self._current)
+        self._current = None
+
+    def add(self, component: str, seconds: float) -> None:
+        """Charge ``seconds`` to ``component`` (and the open iteration)."""
+        if component not in self.totals:
+            raise KeyError(
+                f"unknown component {component!r}; expected one of "
+                f"{COMPONENTS}"
+            )
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.totals[component] += seconds
+        if self._current is not None:
+            self._current[component] += seconds
+
+    # -------------------------------------------------------------- #
+    @property
+    def total(self) -> float:
+        """Total modeled seconds."""
+        return sum(self.totals.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Component shares of the total (Fig. 5/7's Y axis)."""
+        t = self.total
+        if t == 0:
+            return {c: 0.0 for c in COMPONENTS}
+        return {c: v / t for c, v in self.totals.items()}
+
+    def communication_fraction(self) -> float:
+        """Share spent in collectives + transfers + sync — the quantity the
+        paper reports as "about 90% of the overall execution time" for
+        multi-GPU runs."""
+        comm = (
+            self.totals["allreduce_pointers"]
+            + self.totals["allreduce_mate"]
+            + self.totals["batch_transfer"]
+            + self.totals["sync"]
+        )
+        t = self.total
+        return comm / t if t else 0.0
+
+    def iteration_totals(self) -> np.ndarray:
+        """Per-iteration total seconds."""
+        return np.array(
+            [sum(rec.values()) for rec in self.iterations], dtype=np.float64
+        )
+
+    def component_series(self, component: str) -> np.ndarray:
+        """Per-iteration seconds of one component."""
+        if component not in self.totals:
+            raise KeyError(component)
+        return np.array(
+            [rec[component] for rec in self.iterations], dtype=np.float64
+        )
+
+    def merged_with(self, other: "Timeline") -> "Timeline":
+        """Componentwise sum of two ledgers (ignores iteration records)."""
+        out = Timeline()
+        for c in COMPONENTS:
+            out.totals[c] = self.totals[c] + other.totals[c]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{c}={v:.3e}s" for c, v in self.totals.items() if v > 0
+        )
+        return f"Timeline(total={self.total:.3e}s; {parts})"

@@ -1,0 +1,110 @@
+"""Execution traces — Chrome-trace export of simulated runs.
+
+Turns a :class:`~repro.gpusim.timeline.Timeline`'s per-iteration component
+records into a timeline of events loadable by ``chrome://tracing`` /
+Perfetto, the standard way to eyeball phase interleavings (the simulated
+counterpart of the paper's NSight sessions in §IV-C).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.gpusim.timeline import COMPONENTS, Timeline
+
+__all__ = ["TraceEvent", "Trace"]
+
+#: Lane assignment per component: compute vs communication rows.
+_LANES = {
+    "pointing": "compute",
+    "matching": "compute",
+    "allreduce_pointers": "communication",
+    "allreduce_mate": "communication",
+    "batch_transfer": "communication",
+    "sync": "communication",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One complete ('X' phase) event."""
+
+    name: str
+    lane: str
+    start_s: float
+    duration_s: float
+    iteration: int
+
+    def to_chrome(self) -> dict:
+        """Chrome-trace JSON object (timestamps in microseconds)."""
+        return {
+            "name": self.name,
+            "cat": self.lane,
+            "ph": "X",
+            "ts": self.start_s * 1e6,
+            "dur": self.duration_s * 1e6,
+            "pid": 0,
+            "tid": self.lane,
+            "args": {"iteration": self.iteration},
+        }
+
+
+class Trace:
+    """An ordered list of :class:`TraceEvent`."""
+
+    def __init__(self, events: list[TraceEvent]):
+        self.events = events
+
+    @classmethod
+    def from_timeline(cls, timeline: Timeline) -> "Trace":
+        """Lay the per-iteration component records out on a global clock.
+
+        Components within an iteration are serialised in the order LD-GPU
+        executes them (pointing → allreduce(pointers) → matching →
+        allreduce(mate) → sync), with batch transfers overlapping the
+        pointing lane conceptually but serialised here for readability.
+        """
+        order = ("batch_transfer", "pointing", "allreduce_pointers",
+                 "matching", "allreduce_mate", "sync")
+        clock = 0.0
+        events: list[TraceEvent] = []
+        for it, rec in enumerate(timeline.iterations):
+            for comp in order:
+                dur = rec.get(comp, 0.0)
+                if dur <= 0.0:
+                    continue
+                events.append(TraceEvent(comp, _LANES[comp], clock, dur,
+                                         it))
+                clock += dur
+        return cls(events)
+
+    @property
+    def total_duration(self) -> float:
+        """End time of the last event."""
+        if not self.events:
+            return 0.0
+        last = self.events[-1]
+        return last.start_s + last.duration_s
+
+    def lane_totals(self) -> dict[str, float]:
+        """Seconds per lane (compute vs communication)."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.lane] = out.get(e.lane, 0.0) + e.duration_s
+        return out
+
+    def to_chrome_trace(self) -> dict:
+        """The full chrome-trace document."""
+        return {
+            "traceEvents": [e.to_chrome() for e in self.events],
+            "displayTimeUnit": "ms",
+        }
+
+    def save(self, path) -> None:
+        """Write the chrome-trace JSON to ``path``."""
+        with open(path, "wt") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+    def __len__(self) -> int:
+        return len(self.events)

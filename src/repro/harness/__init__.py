@@ -1,0 +1,29 @@
+"""Benchmark harness: dataset registry, runners, experiments, reports.
+
+``repro.harness.experiments`` has one entry point per table/figure of the
+paper's evaluation section; the ``benchmarks/`` tree and the CLI both call
+into it.  See DESIGN.md §4 for the experiment index.
+"""
+
+from repro.harness.datasets import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    small_datasets,
+    large_datasets,
+    quality_instance,
+)
+from repro.harness.runners import run_algorithm, best_ld_gpu
+from repro.harness.report import format_table
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "small_datasets",
+    "large_datasets",
+    "quality_instance",
+    "run_algorithm",
+    "best_ld_gpu",
+    "format_table",
+]

@@ -1,0 +1,569 @@
+"""One entry point per table/figure of the paper's evaluation (§IV).
+
+Every function returns an :class:`ExperimentResult` whose rows mirror the
+corresponding table's columns (or the figure's series).  ``quick=True``
+shrinks the dataset/configuration sweep for use in the test suite; the
+benchmarks run the full versions.
+
+Times reported here are the simulator's modeled seconds (see DESIGN.md §2);
+the *shapes* — who wins, scaling curves, crossovers — are the reproduction
+targets, not the absolute values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.gpusim.memory import DeviceOOMError
+from repro.gpusim.spec import DGX_2, DGX_A100, DGX_A100_PCIE
+from repro.gpusim.timeline import COMPONENTS
+from repro.harness.datasets import (
+    DATASETS,
+    large_datasets,
+    load_dataset,
+    quality_instance,
+    scale_factor,
+    scaled_cpu,
+    scaled_platform,
+    small_datasets,
+)
+from repro.harness.report import format_table
+from repro.harness.runners import best_ld_gpu, run_algorithm
+from repro.matching.blossom import blossom_mwm
+from repro.matching.ld_gpu import ld_gpu
+from repro.matching.suitor import suitor_omp_sim
+from repro.metrics.fom import mmeps
+from repro.metrics.quality import geometric_mean, percent_below_optimal
+from repro.metrics.workstats import iterations_below_fraction
+
+__all__ = [
+    "ExperimentResult",
+    "table1_execution_times",
+    "table2_quality",
+    "table3_a100_vs_v100",
+    "table4_single_gpu",
+    "table5_cugraph",
+    "table6_fom",
+    "fig4_strong_scaling",
+    "fig5_components",
+    "fig6_batch_scaling",
+    "fig7_kmer_components",
+    "fig8_warp_work",
+    "fig9_interconnect",
+    "fig10_platforms",
+    "fig11_occupancy",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: headers + rows (+ free-form extras)."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def render(self, floatfmt: str = ".4g") -> str:
+        """Aligned text table (what the bench harness prints)."""
+        return format_table(self.headers, self.rows, floatfmt=floatfmt,
+                            title=self.title)
+
+    def to_json(self) -> dict:
+        """Machine-readable form (numpy values coerced to Python)."""
+
+        def coerce(v):
+            if isinstance(v, np.generic):
+                return v.item()
+            if isinstance(v, np.ndarray):
+                return v.tolist()
+            return v
+
+        return {
+            "name": self.name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[coerce(c) for c in row] for row in self.rows],
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        import json
+
+        with open(path, "wt") as fh:
+            json.dump(self.to_json(), fh, indent=1)
+
+
+# Reduced sweeps used when quick=True (test suite).
+_QUICK_DEVICES = (1, 2, 4)
+_QUICK_BATCHES = (None, 3)
+_FULL_DEVICES = (1, 2, 4, 6, 8)
+_FULL_BATCHES = (None, 2, 3, 5, 10, 14)
+
+
+def _sweeps(quick: bool):
+    return (_QUICK_DEVICES, _QUICK_BATCHES) if quick else \
+        (_FULL_DEVICES, _FULL_BATCHES)
+
+
+def _pick(names: list[str], quick: bool, k: int = 3) -> list[str]:
+    return names[:k] if quick else names
+
+
+# ------------------------------------------------------------------ #
+# Table I — best execution times and speedups
+# ------------------------------------------------------------------ #
+def table1_execution_times(quick: bool = False) -> ExperimentResult:
+    """Table I (right): best times for SR-OMP / SR-GPU / LD-GPU and the
+    LD-GPU speedups.  '-' marks out-of-memory, as in the paper."""
+    names = _pick(large_datasets(), quick, 2) + \
+        _pick(small_datasets(), quick, 2)
+    devices, batches = _sweeps(quick)
+    rows = []
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        omp = run_algorithm("sr_omp", g, cpu=scaled_cpu(name))
+        try:
+            srg = run_algorithm("sr_gpu", g, spec=plat.device)
+            sr_time: float | None = srg.sim_time
+        except DeviceOOMError:
+            sr_time = None
+        ld, nd, nb = best_ld_gpu(g, plat, device_counts=devices,
+                                 batch_counts=batches)
+        rows.append([
+            name,
+            omp.sim_time,
+            sr_time,
+            ld.sim_time,
+            nd,
+            nb,
+            omp.sim_time / ld.sim_time,
+            (sr_time / ld.sim_time) if sr_time is not None else None,
+        ])
+    return ExperimentResult(
+        "table1",
+        "Table I: best execution times (modeled s) and LD-GPU speedups",
+        ["graph", "SR-OMP", "SR-GPU", "LD-GPU", "#GPUs", "#batches",
+         "vs SR-OMP", "vs SR-GPU"],
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Table II — quality vs the exact optimum
+# ------------------------------------------------------------------ #
+def table2_quality(quick: bool = False) -> ExperimentResult:
+    """Table II: %-difference of LD-GPU and SR-OMP weights from the exact
+    blossom (LEMON) optimum on the SMALL quality instances."""
+    names = _pick(small_datasets(), quick)
+    rows = []
+    ld_diffs, sr_diffs = [], []
+    lemon_seconds = {}
+    for name in names:
+        g = quality_instance(name)
+        t0 = time.perf_counter()
+        opt = blossom_mwm(g)
+        lemon_seconds[name] = time.perf_counter() - t0
+        ld = run_algorithm("ld_gpu", g, platform=DGX_A100, num_devices=1,
+                           collect_stats=False)
+        sr = run_algorithm("sr_omp", g)
+        dl = percent_below_optimal(ld.weight, opt.weight)
+        ds = percent_below_optimal(sr.weight, opt.weight)
+        ld_diffs.append(dl)
+        sr_diffs.append(ds)
+        rows.append([name, dl, ds])
+    rows.append(["Geo. Mean", geometric_mean(ld_diffs),
+                 geometric_mean(sr_diffs)])
+    return ExperimentResult(
+        "table2",
+        "Table II: % weight below optimal (lower is better)",
+        ["graph", "LD-GPU", "SR-OMP"],
+        rows,
+        extra={"lemon_seconds": lemon_seconds},
+    )
+
+
+# ------------------------------------------------------------------ #
+# Table III — A100 vs V100, single device
+# ------------------------------------------------------------------ #
+_TABLE3_GRAPHS = ["Queen_4147", "mycielskian18", "com-Orkut", "kmer_U1a",
+                  "kmer_V2a", "mouse_gene"]
+
+
+def table3_a100_vs_v100(quick: bool = False) -> ExperimentResult:
+    """Table III: single-GPU LD-GPU speedup of A100 over V100."""
+    names = _pick(_TABLE3_GRAPHS, quick)
+    rows = []
+    speedups = []
+    for name in names:
+        g = load_dataset(name)
+        a = ld_gpu(g, scaled_platform(name, DGX_A100), num_devices=1,
+                   collect_stats=False)
+        v = ld_gpu(g, scaled_platform(name, DGX_2), num_devices=1,
+                   collect_stats=False)
+        s = v.sim_time / a.sim_time
+        speedups.append(s)
+        rows.append([name, s])
+    rows.append(["Geo. Mean", geometric_mean(speedups)])
+    return ExperimentResult(
+        "table3",
+        "Table III: LD-GPU speedup on a single A100 vs V100",
+        ["graph", "A100 speedup"],
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Table IV — single-GPU LD-GPU vs SR-GPU
+# ------------------------------------------------------------------ #
+_TABLE4_GRAPHS = ["com-Friendster", "Queen_4147", "mycielskian18", "HV15R",
+                  "com-Orkut", "kmer_U1a", "kmer_V2a", "mouse_gene"]
+
+
+def table4_single_gpu(quick: bool = False) -> ExperimentResult:
+    """Table IV: single-GPU runtimes; SR-GPU's vertex-per-warp tuning wins
+    on regular graphs, LD-GPU stays competitive on irregular ones."""
+    names = _pick(_TABLE4_GRAPHS, quick)
+    rows = []
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        ld = ld_gpu(g, plat, num_devices=1, collect_stats=False)
+        try:
+            sr = run_algorithm("sr_gpu", g, spec=plat.device)
+            sr_t: float | None = sr.sim_time
+        except DeviceOOMError:
+            sr_t = None
+        rows.append([name, ld.sim_time, sr_t])
+    return ExperimentResult(
+        "table4",
+        "Table IV: single-GPU runtime (modeled s)",
+        ["graph", "LD-GPU", "SR-GPU"],
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Table V — LD-GPU vs cuGraph on 4 GPUs
+# ------------------------------------------------------------------ #
+_TABLE5_GRAPHS = ["Queen_4147", "mycielskian18", "com-Orkut", "kmer_U1a",
+                  "kmer_V2a"]
+
+
+def table5_cugraph(quick: bool = False) -> ExperimentResult:
+    """Table V: 4-GPU LD-GPU (single batch) vs the cuGraph MG model."""
+    names = _pick(_TABLE5_GRAPHS, quick)
+    rows = []
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        ld = ld_gpu(g, plat, num_devices=4, num_batches=1,
+                    collect_stats=False)
+        cu = run_algorithm("cugraph", g, platform=plat, num_devices=4)
+        rows.append([name, ld.sim_time, cu.sim_time,
+                     cu.sim_time / ld.sim_time])
+    return ExperimentResult(
+        "table5",
+        "Table V: LD-GPU vs cuGraph on 4 GPUs (modeled s)",
+        ["graph", "LD-GPU", "cuGraph", "cuGraph/LD"],
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Table VI — MMEPS figure of merit
+# ------------------------------------------------------------------ #
+_TABLE6_GRAPHS = ["AGATHA-2015", "MOLIERE_2016", "GAP-urand", "GAP-kron",
+                  "com-Friendster", "kmer_U1a"]
+
+
+def table6_fom(quick: bool = False) -> ExperimentResult:
+    """Table VI: Mega-Matching-Edges-per-Second (higher is better).
+
+    Times are paper-scale (bandwidth-scaled platforms), so matched edges
+    are converted to paper scale too — an analog edge represents
+    ``1/scale_factor`` original edges — keeping MMEPS magnitudes
+    comparable with the paper's.
+    """
+    names = _pick(_TABLE6_GRAPHS, quick)
+    devices, batches = _sweeps(quick)
+    rows = []
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        s = scale_factor(name)
+        ld, _, _ = best_ld_gpu(g, plat, device_counts=devices,
+                               batch_counts=batches)
+        omp = suitor_omp_sim(g, cpu=scaled_cpu(name))
+        rows.append([name, mmeps(ld) / s, mmeps(omp) / s])
+    return ExperimentResult(
+        "table6",
+        "Table VI: MMEPS figure of merit (higher is better)",
+        ["graph", "LD-GPU", "SR-OMP"],
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Fig. 4 — strong scaling on LARGE inputs
+# ------------------------------------------------------------------ #
+def fig4_strong_scaling(quick: bool = False) -> ExperimentResult:
+    """Fig. 4: LD-GPU time on 1–8 A100s (best over batch counts <15)."""
+    names = _pick(large_datasets(), quick, 2)
+    devices = (1, 2, 4) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
+    _, batches = _sweeps(quick)
+    rows = []
+    series: dict[str, list[float]] = {}
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        times = []
+        for nd in devices:
+            best = None
+            for nb in batches:
+                try:
+                    r = ld_gpu(g, plat, num_devices=nd, num_batches=nb,
+                               collect_stats=False)
+                except DeviceOOMError:
+                    continue
+                if best is None or r.sim_time < best:
+                    best = r.sim_time
+            times.append(best)
+        series[name] = times
+        base = times[0]
+        rows.append([name] + [
+            (base / t) if (t is not None and base is not None) else None
+            for t in times
+        ])
+    return ExperimentResult(
+        "fig4",
+        "Fig. 4: strong-scaling speedup vs 1 GPU "
+        f"(devices {list(devices)})",
+        ["graph"] + [f"{d}GPU" for d in devices],
+        rows,
+        extra={"times": series, "devices": list(devices)},
+    )
+
+
+# ------------------------------------------------------------------ #
+# Fig. 5 — component-wise timing
+# ------------------------------------------------------------------ #
+def fig5_components(quick: bool = False) -> ExperimentResult:
+    """Fig. 5: % of total time per component across devices."""
+    names = _pick(large_datasets(), quick, 1) + \
+        _pick(small_datasets(), quick, 1)
+    devices = (1, 4) if quick else (1, 2, 4, 8)
+    rows = []
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        for nd in devices:
+            try:
+                r = ld_gpu(g, plat, num_devices=nd, collect_stats=False)
+            except DeviceOOMError:
+                continue
+            f = r.timeline.fractions()
+            rows.append([name, nd] + [100.0 * f[c] for c in COMPONENTS])
+    return ExperimentResult(
+        "fig5",
+        "Fig. 5: component-wise % of execution time",
+        ["graph", "#GPUs"] + list(COMPONENTS),
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Fig. 6 / Fig. 7 — batch-count scalability
+# ------------------------------------------------------------------ #
+_BATCH_STUDY_GRAPHS = ["kmer_U1a", "mycielskian18", "kmer_V2a"]
+
+
+def fig6_batch_scaling(quick: bool = False) -> ExperimentResult:
+    """Fig. 6: forcing 1/3/5/10 batches on SMALL inputs across devices."""
+    names = _pick(_BATCH_STUDY_GRAPHS, quick, 1)
+    devices = (1, 2, 4) if quick else (1, 2, 4, 8)
+    batch_counts = (1, 3) if quick else (1, 3, 5, 10)
+    rows = []
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        for nb in batch_counts:
+            times = []
+            for nd in devices:
+                r = ld_gpu(g, plat, num_devices=nd, num_batches=nb,
+                           collect_stats=False, force_streaming=True)
+                times.append(r.sim_time)
+            rows.append([name, nb] + times)
+    return ExperimentResult(
+        "fig6",
+        f"Fig. 6: LD-GPU time (modeled s) by #batches, devices "
+        f"{list(devices)}",
+        ["graph", "#batches"] + [f"{d}GPU" for d in devices],
+        rows,
+        extra={"devices": list(devices)},
+    )
+
+
+def fig7_kmer_components(quick: bool = False) -> ExperimentResult:
+    """Fig. 7: kmer_U1a component breakdown under forced batching."""
+    g = load_dataset("kmer_U1a")
+    plat = scaled_platform("kmer_U1a")
+    devices = (1, 4) if quick else (1, 2, 4, 8)
+    batch_counts = (1, 3) if quick else (1, 3, 5, 10)
+    rows = []
+    for nb in batch_counts:
+        for nd in devices:
+            r = ld_gpu(g, plat, num_devices=nd, num_batches=nb,
+                       collect_stats=False, force_streaming=True)
+            f = r.timeline.fractions()
+            rows.append([nb, nd] + [100.0 * f[c] for c in COMPONENTS])
+    return ExperimentResult(
+        "fig7",
+        "Fig. 7: kmer_U1a component-wise % by #batches / #GPUs",
+        ["#batches", "#GPUs"] + list(COMPONENTS),
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Fig. 8 — warp-edge work per iteration
+# ------------------------------------------------------------------ #
+def fig8_warp_work(quick: bool = False) -> ExperimentResult:
+    """Fig. 8: per-iteration % of edges accessed; the paper's headline is
+    that <20% of edges are touched in ≥90% of iterations."""
+    names = _pick(large_datasets(), quick, 1) + \
+        _pick(small_datasets(), quick, 2)
+    rows = []
+    series = {}
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        r = ld_gpu(g, plat, num_devices=4)
+        frac = r.stats["edges_scanned"] / g.num_directed_edges
+        series[name] = frac
+        rows.append([
+            name,
+            r.iterations,
+            100.0 * float(frac.mean()),
+            100.0 * float(frac.std()),
+            100.0 * iterations_below_fraction(
+                r.stats["edges_scanned"], g.num_directed_edges, 0.2
+            ),
+        ])
+    return ExperimentResult(
+        "fig8",
+        "Fig. 8: warp-edge work across iterations",
+        ["graph", "iters", "mean %edges", "std %edges",
+         "%iters <20% edges"],
+        rows,
+        extra={"series": series},
+    )
+
+
+# ------------------------------------------------------------------ #
+# Fig. 9 — NVLink vs PCIe
+# ------------------------------------------------------------------ #
+def fig9_interconnect(quick: bool = False) -> ExperimentResult:
+    """Fig. 9: execution-time speedup of NVLink over PCIe."""
+    names = _pick(large_datasets(), quick, 2) + \
+        _pick(small_datasets(), quick, 1)
+    devices = (2, 4) if quick else (2, 4, 8)
+    rows = []
+    speedups = []
+    for name in names:
+        g = load_dataset(name)
+        row: list[Any] = [name]
+        for nd in devices:
+            try:
+                nv = ld_gpu(g, scaled_platform(name, DGX_A100),
+                            num_devices=nd, collect_stats=False)
+                pc = ld_gpu(g, scaled_platform(name, DGX_A100_PCIE),
+                            num_devices=nd, collect_stats=False)
+            except DeviceOOMError:
+                row.append(None)
+                continue
+            s = pc.sim_time / nv.sim_time
+            speedups.append(s)
+            row.append(s)
+        rows.append(row)
+    return ExperimentResult(
+        "fig9",
+        "Fig. 9: NVLink-over-PCIe speedup",
+        ["graph"] + [f"{d}GPU" for d in devices],
+        rows,
+        extra={"all_speedups": speedups},
+    )
+
+
+# ------------------------------------------------------------------ #
+# Fig. 10 — DGX-A100 vs DGX-2
+# ------------------------------------------------------------------ #
+_FIG10_GRAPHS = ["GAP-kron", "com-Friendster"]
+
+
+def fig10_platforms(quick: bool = False) -> ExperimentResult:
+    """Fig. 10: LD-GPU scalability on DGX-A100 (8×A100) vs DGX-2
+    (16×V100)."""
+    names = _pick(_FIG10_GRAPHS, quick, 1)
+    a_devices = (1, 4) if quick else (1, 2, 4, 8)
+    v_devices = (1, 4) if quick else (1, 2, 4, 8, 16)
+    rows = []
+    for name in names:
+        g = load_dataset(name)
+        for plat, devices in ((DGX_A100, a_devices), (DGX_2, v_devices)):
+            sp = scaled_platform(name, plat)
+            for nd in devices:
+                try:
+                    r = ld_gpu(g, sp, num_devices=nd, collect_stats=False)
+                except DeviceOOMError:
+                    continue
+                cfg = r.stats["config"]
+                rows.append([name, plat.name, nd, cfg.num_batches,
+                             r.sim_time])
+    return ExperimentResult(
+        "fig10",
+        "Fig. 10: DGX-A100 vs DGX-2 scalability (modeled s)",
+        ["graph", "platform", "#GPUs", "#batches", "time"],
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Fig. 11 — SM occupancy per iteration
+# ------------------------------------------------------------------ #
+def fig11_occupancy(quick: bool = False) -> ExperimentResult:
+    """Fig. 11: SM occupancy through the iteration progression; the
+    outliers (mycielskian18, mouse_gene) collapse in the late
+    iterations."""
+    names = _pick(large_datasets(), quick, 1) + \
+        _pick(small_datasets(), quick, 2)
+    rows = []
+    series = {}
+    for name in names:
+        g = load_dataset(name)
+        plat = scaled_platform(name)
+        r = ld_gpu(g, plat, num_devices=1)
+        occ = r.stats["occupancy"]
+        series[name] = occ
+        half = occ[len(occ) // 2 :]
+        rows.append([
+            name,
+            r.iterations,
+            100.0 * float(occ.mean()),
+            100.0 * float(occ[: max(1, len(occ) // 2)].mean()),
+            100.0 * float(half.mean()) if len(half) else None,
+            100.0 * float(occ.min()),
+        ])
+    return ExperimentResult(
+        "fig11",
+        "Fig. 11: SM occupancy (%) over iterations",
+        ["graph", "iters", "mean", "first-half", "second-half", "min"],
+        rows,
+        extra={"series": series},
+    )

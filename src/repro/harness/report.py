@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and diff-friendly
+(EXPERIMENTS.md embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_value", "render_series"]
+
+
+def format_value(v: Any, floatfmt: str = ".3f") -> str:
+    """Render one cell; ``None`` becomes the paper's '-' marker."""
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return format(v, floatfmt)
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Aligned monospace table."""
+    srows = [[format_value(c, floatfmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in srows)
+    return "\n".join(out)
+
+
+def render_series(
+    label: str,
+    values: Sequence[float],
+    width: int = 40,
+    fmt: str = ".3g",
+) -> str:
+    """One-line ASCII sparkline-style rendering of a numeric series."""
+    if not len(values):
+        return f"{label}: (empty)"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    blocks = "▁▂▃▄▅▆▇█"
+    pick = [blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values]
+    if len(pick) > width:
+        stride = len(pick) / width
+        pick = [pick[int(i * stride)] for i in range(width)]
+    return (
+        f"{label}: {''.join(pick)}  "
+        f"[min {format(lo, fmt)}, max {format(hi, fmt)}, n={len(values)}]"
+    )

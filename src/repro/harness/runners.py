@@ -1,0 +1,98 @@
+"""Uniform adapters for running any algorithm on any dataset."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.gpusim.memory import DeviceOOMError
+from repro.gpusim.spec import DGX_A100, PlatformSpec
+from repro.matching.auction import auction_matching
+from repro.matching.blossom import blossom_mwm
+from repro.matching.cugraph_sim import cugraph_mg_sim
+from repro.matching.greedy import greedy_matching
+from repro.matching.ld_gpu import ld_gpu
+from repro.matching.ld_seq import ld_seq
+from repro.matching.local_max import local_max
+from repro.matching.path_growing import path_growing_matching
+from repro.matching.augmenting import (
+    random_augmentation_matching,
+    two_thirds_matching,
+)
+from repro.matching.suitor import suitor_gpu_sim, suitor_omp_sim, suitor_seq
+from repro.matching.types import MatchResult
+
+__all__ = ["ALGORITHMS", "run_algorithm", "best_ld_gpu"]
+
+#: Name → callable(graph, **kwargs) for every implemented algorithm.
+ALGORITHMS: dict[str, Callable[..., MatchResult]] = {
+    "ld_seq": ld_seq,
+    "ld_gpu": ld_gpu,
+    "sr_omp": suitor_omp_sim,
+    "sr_gpu": suitor_gpu_sim,
+    "suitor_seq": suitor_seq,
+    "greedy": greedy_matching,
+    "local_max": local_max,
+    "auction": auction_matching,
+    "blossom": blossom_mwm,
+    "cugraph": cugraph_mg_sim,
+    "path_growing": path_growing_matching,
+    "two_thirds": two_thirds_matching,
+    "pettie_sanders": random_augmentation_matching,
+}
+
+
+def run_algorithm(name: str, graph: CSRGraph, **kwargs: Any) -> MatchResult:
+    """Run algorithm ``name`` on ``graph``.
+
+    Raises ``KeyError`` for unknown names; algorithm-specific errors
+    (e.g. :class:`DeviceOOMError`) propagate so callers can render the
+    paper's '-' entries.
+    """
+    if name not in ALGORITHMS:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[name](graph, **kwargs)
+
+
+def best_ld_gpu(
+    graph: CSRGraph,
+    platform: PlatformSpec = DGX_A100,
+    device_counts: tuple[int, ...] = (1, 2, 4, 6, 8),
+    batch_counts: tuple[int | None, ...] = (None, 2, 3, 5, 10),
+    collect_stats: bool = False,
+) -> tuple[MatchResult, int, int]:
+    """The paper's reporting protocol for Table I: run LD-GPU over a sweep
+    of device and batch counts (batches < 15) and keep the fastest.
+
+    Returns ``(result, num_devices, num_batches)`` of the winner.
+    Configurations that cannot fit memory are skipped (they are the runs
+    the paper could not perform either).
+    """
+    best: tuple[MatchResult, int, int] | None = None
+    mate_ref: np.ndarray | None = None
+    for nd in device_counts:
+        if nd > platform.max_devices:
+            continue
+        for nb in batch_counts:
+            try:
+                r = ld_gpu(graph, platform, num_devices=nd, num_batches=nb,
+                           collect_stats=collect_stats)
+            except DeviceOOMError:
+                continue
+            if mate_ref is None:
+                mate_ref = r.mate
+            else:
+                assert np.array_equal(mate_ref, r.mate), (
+                    "LD-GPU result depends on configuration — broken"
+                )
+            if best is None or r.sim_time < best[0].sim_time:
+                cfg = r.stats["config"]
+                best = (r, nd, cfg.num_batches)
+    if best is None:
+        raise DeviceOOMError(platform.device.name, 0, 0,
+                             platform.device.memory_bytes)
+    return best

@@ -1,0 +1,102 @@
+"""Configuration sweeps over (devices × batches × platforms).
+
+The paper's reporting protocol is "best over a sweep" (Table I's caption,
+Fig. 4's method); this module makes that protocol a first-class object so
+the CLI, benches and users run identical grids and get back a tidy table
+of every configuration — not just the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.gpusim.memory import DeviceOOMError
+from repro.gpusim.spec import DGX_A100, PlatformSpec
+from repro.graph.csr import CSRGraph
+from repro.harness.report import format_table
+from repro.matching.ld_gpu import ld_gpu
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_ld_gpu"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's outcome (``time_s`` is None on OOM)."""
+
+    platform: str
+    num_devices: int
+    num_batches: int | None
+    time_s: float | None
+    iterations: int | None
+    comm_fraction: float | None
+
+    @property
+    def ok(self) -> bool:
+        return self.time_s is not None
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep plus the winner."""
+
+    graph_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def best(self) -> SweepPoint:
+        ok = [p for p in self.points if p.ok]
+        if not ok:
+            raise DeviceOOMError("sweep", 0, 0, 0)
+        return min(ok, key=lambda p: p.time_s)
+
+    def render(self) -> str:
+        rows = [
+            [p.platform, p.num_devices,
+             p.num_batches if p.num_batches is not None else "auto",
+             p.time_s, p.iterations,
+             100.0 * p.comm_fraction if p.comm_fraction is not None
+             else None]
+            for p in self.points
+        ]
+        return format_table(
+            ["platform", "#GPUs", "#batches", "time (s)", "iters",
+             "comm %"],
+            rows, floatfmt=".4f",
+            title=f"LD-GPU sweep on {self.graph_name}",
+        )
+
+
+def sweep_ld_gpu(
+    graph: CSRGraph,
+    platforms: Iterable[PlatformSpec] = (DGX_A100,),
+    device_counts: Iterable[int] = (1, 2, 4, 8),
+    batch_counts: Iterable[int | None] = (None,),
+    **ld_kwargs: Any,
+) -> SweepResult:
+    """Run LD-GPU over the configuration grid.
+
+    OOM configurations become points with ``time_s=None`` (rendered '-'),
+    mirroring how the paper reports infeasible runs.
+    """
+    result = SweepResult(graph.name)
+    for plat in platforms:
+        for nd in device_counts:
+            if nd > plat.max_devices:
+                continue
+            for nb in batch_counts:
+                try:
+                    r = ld_gpu(graph, plat, num_devices=nd,
+                               num_batches=nb, collect_stats=False,
+                               **ld_kwargs)
+                    cfg = r.stats["config"]
+                    result.points.append(SweepPoint(
+                        plat.name, nd, cfg.num_batches, r.sim_time,
+                        r.iterations,
+                        r.timeline.communication_fraction(),
+                    ))
+                except DeviceOOMError:
+                    result.points.append(SweepPoint(
+                        plat.name, nd, nb, None, None, None,
+                    ))
+    return result

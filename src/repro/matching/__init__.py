@@ -1,0 +1,91 @@
+"""Weighted matching algorithms.
+
+The paper's contribution (:func:`ld_gpu`) plus every algorithm it compares
+against:
+
+===================  =====================================================
+``ld_seq``           Algorithm 1 — pointer-based locally dominant matching
+``ld_gpu``           Algorithms 2–3 — multi-GPU batched LD matching (run on
+                     the :mod:`repro.gpusim` device simulator)
+``suitor_seq``       sequential Suitor (Manne & Halappanavar)
+``suitor_omp_sim``   round-synchronous Suitor with a multicore cost model
+                     (the paper's SR-OMP baseline)
+``suitor_gpu_sim``   single-device Suitor with vertex-per-warp balancing and
+                     a 32-bit representation (the paper's SR-GPU baseline)
+``greedy_matching``  global-sort greedy ½-approximation
+``local_max``        Birn et al. edge-centric locally dominant matching
+``auction_matching`` Fagginger Auer & Bisseling red-blue auction
+``blossom_mwm``      exact maximum weight matching (the LEMON baseline)
+``cugraph_mg_sim``   Manne–Bisseling over an MPI-style process-per-GPU
+                     communication model (the RAPIDS cuGraph baseline)
+===================  =====================================================
+
+Extensions beyond the paper's evaluation (its related/future work):
+
+=============================  =======================================
+``path_growing_matching``      Drake–Hougardy path growing (ref. [14])
+``two_thirds_matching``        short-augmentation local search to the
+                               2/3-approximate fixed point
+``random_augmentation_...``    Pettie–Sanders randomised (2/3 − ε)
+``b_suitor``                   b-matching via b-Suitor
+=============================  =======================================
+"""
+
+from repro.matching.types import MatchResult
+from repro.matching.validate import (
+    is_valid_matching,
+    is_maximal_matching,
+    matching_weight,
+    matched_edge_count,
+    verify_result,
+)
+from repro.matching.ld_seq import ld_seq
+from repro.matching.ld_gpu import ld_gpu
+from repro.matching.ld_multinode import ld_multinode
+from repro.matching.greedy import greedy_matching
+from repro.matching.local_max import local_max
+from repro.matching.suitor import suitor_seq, suitor_omp_sim, suitor_gpu_sim
+from repro.matching.auction import auction_matching
+from repro.matching.blossom import blossom_mwm, maximum_weight_matching
+from repro.matching.cugraph_sim import cugraph_mg_sim
+from repro.matching.path_growing import path_growing_matching
+from repro.matching.augmenting import (
+    two_thirds_matching,
+    random_augmentation_matching,
+)
+from repro.matching.dynamic import DynamicMatcher
+from repro.matching.b_matching import (
+    BMatchResult,
+    b_suitor,
+    greedy_b_matching,
+    is_valid_b_matching,
+)
+
+__all__ = [
+    "MatchResult",
+    "is_valid_matching",
+    "is_maximal_matching",
+    "matching_weight",
+    "matched_edge_count",
+    "verify_result",
+    "ld_seq",
+    "ld_gpu",
+    "ld_multinode",
+    "greedy_matching",
+    "local_max",
+    "suitor_seq",
+    "suitor_omp_sim",
+    "suitor_gpu_sim",
+    "auction_matching",
+    "blossom_mwm",
+    "maximum_weight_matching",
+    "cugraph_mg_sim",
+    "path_growing_matching",
+    "two_thirds_matching",
+    "random_augmentation_matching",
+    "BMatchResult",
+    "b_suitor",
+    "greedy_b_matching",
+    "is_valid_b_matching",
+    "DynamicMatcher",
+]

@@ -1,0 +1,109 @@
+"""Result containers shared by every matching algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["MatchResult", "UNMATCHED"]
+
+#: Sentinel in ``mate`` arrays for an unmatched vertex (the paper's
+#: "mate(v) = ∅").
+UNMATCHED: int = -1
+
+
+@dataclass
+class MatchResult:
+    """Outcome of a matching run.
+
+    Attributes
+    ----------
+    mate:
+        ``int64`` array of length ``|V|``; ``mate[v]`` is v's partner or
+        :data:`UNMATCHED`.  Always an involution on matched vertices.
+    weight:
+        Total weight of the matching.
+    algorithm:
+        Name of the producing algorithm (``"ld_gpu"`` etc.).
+    iterations:
+        Number of pointing/matching rounds (0 for single-pass algorithms).
+    sim_time:
+        Modeled execution seconds on the simulated platform — comparable to
+        the paper's reported times; ``None`` for algorithms run without a
+        cost model.
+    timeline:
+        Optional :class:`repro.gpusim.timeline.Timeline` with the
+        per-component breakdown used by Figs. 5/7.
+    stats:
+        Free-form per-algorithm diagnostics (per-iteration edge traffic,
+        occupancy series, device/batch configuration, ...).
+    """
+
+    mate: np.ndarray
+    weight: float
+    algorithm: str
+    iterations: int = 0
+    sim_time: float | None = None
+    timeline: Any | None = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_matched_edges(self) -> int:
+        """Number of edges in the matching."""
+        return int(np.count_nonzero(self.mate != UNMATCHED)) // 2
+
+    @property
+    def num_matched_vertices(self) -> int:
+        """Number of matched vertices (2× the edge count)."""
+        return int(np.count_nonzero(self.mate != UNMATCHED))
+
+    def matched_pairs(self) -> np.ndarray:
+        """``(k, 2)`` array of matched pairs with ``u < v``."""
+        v = np.nonzero(self.mate != UNMATCHED)[0]
+        u = self.mate[v]
+        keep = v < u
+        return np.stack([v[keep], u[keep]], axis=1)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        t = f", sim_time={self.sim_time:.6f}s" if self.sim_time is not None \
+            else ""
+        return (
+            f"{self.algorithm}: weight={self.weight:.6f}, "
+            f"edges={self.num_matched_edges}, iters={self.iterations}{t}"
+        )
+
+    # -------------------------------------------------------------- #
+    # persistence (matchings are expensive to recompute at scale)
+    # -------------------------------------------------------------- #
+
+    def save(self, path) -> None:
+        """Persist the result (mate array + scalar fields) as ``.npz``.
+
+        Timeline and free-form stats are not serialised — they describe
+        the producing run, not the matching.
+        """
+        np.savez_compressed(
+            path,
+            mate=self.mate,
+            weight=np.float64(self.weight),
+            algorithm=np.array(self.algorithm),
+            iterations=np.int64(self.iterations),
+            sim_time=np.float64(self.sim_time)
+            if self.sim_time is not None else np.float64(np.nan),
+        )
+
+    @classmethod
+    def load(cls, path) -> "MatchResult":
+        """Load a result written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            sim_time = float(data["sim_time"])
+            return cls(
+                mate=data["mate"],
+                weight=float(data["weight"]),
+                algorithm=str(data["algorithm"]),
+                iterations=int(data["iterations"]),
+                sim_time=None if np.isnan(sim_time) else sim_time,
+            )

@@ -1,0 +1,22 @@
+"""Quality and performance metrics.
+
+Implements the paper's evaluation quantities: matching-quality percentage
+difference against the optimum (Table II), the MMEPS Figure-of-Merit
+(Table VI), and the warp-edge-work / occupancy summaries behind Figs. 8
+and 11.
+"""
+
+from repro.metrics.fom import mmeps
+from repro.metrics.quality import percent_below_optimal, geometric_mean
+from repro.metrics.workstats import (
+    edges_accessed_fraction,
+    iterations_below_fraction,
+)
+
+__all__ = [
+    "mmeps",
+    "percent_below_optimal",
+    "geometric_mean",
+    "edges_accessed_fraction",
+    "iterations_below_fraction",
+]

@@ -1,0 +1,34 @@
+"""Per-iteration work statistics (Fig. 8's headline numbers).
+
+The paper summarises warp-edge work as: *"for 90% of the iterations, less
+than 20% of the edges are accessed"*.  These helpers turn an LD run's
+``stats['edges_scanned']`` series into that kind of statement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["edges_accessed_fraction", "iterations_below_fraction"]
+
+
+def edges_accessed_fraction(
+    edges_scanned: np.ndarray, total_directed_edges: int
+) -> np.ndarray:
+    """Per-iteration fraction of the graph's adjacency entries scanned."""
+    if total_directed_edges <= 0:
+        raise ValueError("graph has no edges")
+    return np.asarray(edges_scanned, dtype=np.float64) / total_directed_edges
+
+
+def iterations_below_fraction(
+    edges_scanned: np.ndarray,
+    total_directed_edges: int,
+    threshold: float = 0.2,
+) -> float:
+    """Fraction of iterations touching less than ``threshold`` of the
+    edges — the paper's "90% of the iterations access <20%" metric."""
+    frac = edges_accessed_fraction(edges_scanned, total_directed_edges)
+    if len(frac) == 0:
+        return 0.0
+    return float(np.count_nonzero(frac < threshold)) / len(frac)

@@ -1,0 +1,108 @@
+"""Batch formation within a device partition (§III-B).
+
+A *batch* is a contiguous vertex range of a device's partition, sized by
+edge count ("an edge-based scheme, implemented as a binary search on the
+prefix sums within our CSR representation").  Batches bound the working
+set: with ``b`` batches and dual buffering, the device only ever holds two
+batch buffers of edge data instead of the whole partition.
+
+``auto_batch_count`` implements the paper's default policy — "we attempt to
+minimize the number of batches" subject to the buffers fitting in device
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.memory import DeviceOOMError
+from repro.gpusim.spec import DeviceSpec
+from repro.partition.vertex import edge_balanced_partition
+
+__all__ = ["BatchPlan", "plan_batches", "auto_batch_count"]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Batches of one device partition.
+
+    Attributes
+    ----------
+    offsets:
+        Local vertex offsets (length ``num_batches + 1``) relative to the
+        partition start.
+    edge_counts:
+        Directed adjacency entries per batch.
+    resident:
+        True when the partition's whole edge data stays on device and the
+        batch buffers are unnecessary (the paper's "default scenario":
+        one batch, no per-iteration transfers).
+    """
+
+    offsets: np.ndarray
+    edge_counts: np.ndarray
+    resident: bool
+
+    @property
+    def num_batches(self) -> int:
+        """Number of batches."""
+        return len(self.offsets) - 1
+
+    @property
+    def max_batch_edges(self) -> int:
+        """Largest batch's adjacency entry count (buffer sizing)."""
+        return int(self.edge_counts.max()) if len(self.edge_counts) else 0
+
+
+def plan_batches(local_indptr: np.ndarray, num_batches: int,
+                 resident: bool | None = None) -> BatchPlan:
+    """Split a partition (given by its rebased ``local_indptr``) into
+    ``num_batches`` edge-balanced contiguous batches."""
+    if num_batches < 1:
+        raise ValueError("need at least one batch")
+    offsets = edge_balanced_partition(local_indptr, num_batches)
+    edge_counts = np.diff(local_indptr[offsets])
+    if resident is None:
+        resident = num_batches == 1
+    return BatchPlan(offsets, edge_counts, resident)
+
+
+def auto_batch_count(
+    partition_edges: int,
+    num_local_vertices: int,
+    num_global_vertices: int,
+    spec: DeviceSpec,
+    max_batches: int = 4096,
+) -> int:
+    """Minimum batch count whose memory plan fits ``spec.memory_bytes``.
+
+    The per-device residents are the two |V|-sized global arrays
+    (``pointers`` and ``mate`` — the §III-C trade-off), the local
+    ``indptr``, and either the whole partition's edge data (one batch) or
+    two batch buffers (dual buffering).  Raises
+    :class:`~repro.gpusim.memory.DeviceOOMError` when even the finest
+    batching cannot fit — the configurations the paper reports as '-'.
+    """
+    bpa = spec.bytes_per_adjacency
+    fixed = (
+        2 * num_global_vertices * 8          # pointers + mate
+        + (num_local_vertices + 1) * 8       # local indptr
+    )
+    whole = partition_edges * bpa
+    if fixed + whole <= spec.memory_bytes:
+        return 1
+    avail = spec.memory_bytes - fixed
+    if avail <= 0:
+        raise DeviceOOMError(spec.name, fixed, 0, spec.memory_bytes)
+    # Two buffers, each holding ceil(edges / b) adjacency entries; batch
+    # skew means the largest batch can exceed the mean, so search upward.
+    for b in range(2, max_batches + 1):
+        per_batch = -(-partition_edges // b)
+        if 2 * per_batch * bpa <= avail:
+            return b
+    raise DeviceOOMError(
+        spec.name, 2 * bpa * -(-partition_edges // max_batches),
+        fixed, spec.memory_bytes,
+    )

@@ -1,0 +1,215 @@
+"""Tests for the extension algorithms: path growing, short-augmentation
+local search (2/3), Pettie–Sanders, and b-Suitor b-matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import build_graph, random_graphs
+from repro.matching.augmenting import (
+    apply_augmentation,
+    best_short_augmentation,
+    random_augmentation_matching,
+    two_thirds_matching,
+)
+from repro.matching.b_matching import (
+    b_suitor,
+    greedy_b_matching,
+    is_valid_b_matching,
+)
+from repro.matching.blossom import blossom_mwm
+from repro.matching.greedy import greedy_matching
+from repro.matching.ld_seq import ld_seq
+from repro.matching.path_growing import path_growing_matching
+from repro.matching.types import UNMATCHED
+from repro.matching.validate import (
+    is_maximal_matching,
+    is_valid_matching,
+    verify_result,
+)
+
+
+class TestPathGrowing:
+    def test_single_edge(self):
+        g = build_graph(2, [(0, 1, 1.0)])
+        r = path_growing_matching(g)
+        assert r.weight == 1.0
+
+    def test_path_takes_heavy_edges(self, path_graph):
+        r = path_growing_matching(path_graph)
+        verify_result(path_graph, r)
+        assert r.weight >= 0.5 * blossom_mwm(path_graph).weight
+
+    @given(random_graphs())
+    def test_valid_and_maximal(self, g):
+        r = path_growing_matching(g)
+        assert is_valid_matching(g, r.mate)
+        assert is_maximal_matching(g, r.mate)
+
+    @given(random_graphs(max_vertices=14, max_edges=30))
+    @settings(max_examples=20)
+    def test_half_approx(self, g):
+        opt = blossom_mwm(g).weight
+        assert path_growing_matching(g).weight >= 0.5 * opt - 1e-9
+
+    def test_two_matchings_reported(self, medium_graph):
+        r = path_growing_matching(medium_graph)
+        w1, w2 = r.stats["path_matching_weights"]
+        assert r.weight >= max(w1, w2) - 1e-9  # sweep only adds weight
+
+    def test_empty(self):
+        r = path_growing_matching(build_graph(3, []))
+        assert r.num_matched_edges == 0
+
+
+class TestShortAugmentation:
+    def test_finds_middle_edge_trap(self):
+        """P4 (2, 3, 2): greedy takes the middle; one short augmentation
+        centred anywhere recovers the optimum (4)."""
+        g = build_graph(4, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 2.0)])
+        base = greedy_matching(g)
+        assert base.weight == 3.0
+        mate = base.mate.copy()
+        gain, moves = best_short_augmentation(g, mate, 0)
+        assert gain == pytest.approx(1.0)
+        apply_augmentation(mate, moves)
+        assert is_valid_matching(g, mate)
+
+    def test_no_gain_at_optimum(self, triangle):
+        opt = blossom_mwm(triangle)
+        for v in range(3):
+            gain, _ = best_short_augmentation(triangle, opt.mate, v)
+            assert gain <= 1e-9
+
+    def test_apply_augmentation_involution(self):
+        mate = np.array([1, 0, 3, 2], dtype=np.int64)
+        apply_augmentation(mate, [(1, 2)])
+        assert mate[1] == 2 and mate[2] == 1
+        assert mate[0] == UNMATCHED and mate[3] == UNMATCHED
+
+
+class TestTwoThirds:
+    @given(random_graphs(max_vertices=14, max_edges=30))
+    @settings(max_examples=20)
+    def test_two_thirds_guarantee(self, g):
+        opt = blossom_mwm(g).weight
+        r = two_thirds_matching(g)
+        assert is_valid_matching(g, r.mate)
+        assert r.weight >= (2.0 / 3.0) * opt - 1e-9
+
+    @given(random_graphs(max_vertices=14, max_edges=30,
+                         tie_prone=True))
+    @settings(max_examples=15)
+    def test_two_thirds_ties(self, g):
+        opt = blossom_mwm(g).weight
+        assert two_thirds_matching(g).weight >= (2.0 / 3.0) * opt - 1e-9
+
+    def test_improves_on_ld(self):
+        from repro.graph.generators import rmat_graph
+
+        g = rmat_graph(8, 5, seed=12)
+        base = ld_seq(g)
+        r = two_thirds_matching(g)
+        assert r.weight >= base.weight
+        assert r.stats["initial_weight"] == pytest.approx(base.weight)
+
+    def test_tight_half_instance_recovered(self):
+        """The ½-tight P4 family: local search must escape it."""
+        eps = 1e-6
+        g = build_graph(4, [(0, 1, 1.0), (1, 2, 1.0 + eps), (2, 3, 1.0)])
+        r = two_thirds_matching(g)
+        assert r.weight == pytest.approx(2.0)
+
+    def test_custom_init(self, medium_graph):
+        base = greedy_matching(medium_graph)
+        r = two_thirds_matching(medium_graph, init=base, max_sweeps=2)
+        assert r.weight >= base.weight
+
+
+class TestPettieSanders:
+    def test_improves_in_expectation(self):
+        from repro.graph.generators import rmat_graph
+
+        g = rmat_graph(8, 5, seed=13)
+        base = ld_seq(g).weight
+        r = random_augmentation_matching(g, epsilon=0.05, seed=3)
+        verify_result(g, r, require_maximal=False)
+        assert r.weight >= base
+
+    def test_bad_epsilon(self, medium_graph):
+        with pytest.raises(ValueError):
+            random_augmentation_matching(medium_graph, epsilon=0.0)
+        with pytest.raises(ValueError):
+            random_augmentation_matching(medium_graph, epsilon=1.5)
+
+    def test_rounds_scale_with_epsilon(self, triangle):
+        loose = random_augmentation_matching(triangle, epsilon=0.5)
+        tight = random_augmentation_matching(triangle, epsilon=0.01)
+        assert tight.iterations > loose.iterations
+
+    def test_deterministic_per_seed(self, medium_graph):
+        a = random_augmentation_matching(medium_graph, seed=7)
+        b = random_augmentation_matching(medium_graph, seed=7)
+        assert np.array_equal(a.mate, b.mate)
+
+
+class TestBSuitor:
+    @given(random_graphs(max_vertices=16, max_edges=40),
+           st.integers(1, 3))
+    def test_equals_greedy_b(self, g, b):
+        bs = b_suitor(g, b)
+        gr = greedy_b_matching(g, b)
+        assert is_valid_b_matching(g, bs)
+        assert is_valid_b_matching(g, gr)
+        assert bs.edge_set() == gr.edge_set()
+        assert bs.weight == pytest.approx(gr.weight)
+
+    def test_b1_equals_plain_matching(self, medium_graph):
+        bs = b_suitor(medium_graph, 1)
+        plain = greedy_matching(medium_graph)
+        assert bs.edge_set() == {
+            tuple(p) for p in plain.matched_pairs().tolist()
+        }
+
+    def test_symmetric_at_termination(self, medium_graph):
+        bs = b_suitor(medium_graph, 3)
+        assert bs.stats["asymmetric"] == 0
+
+    def test_capacity_respected(self, medium_graph):
+        bs = b_suitor(medium_graph, 2)
+        for ps in bs.partners:
+            assert len(ps) <= 2
+
+    def test_per_vertex_capacities(self, medium_graph):
+        n = medium_graph.num_vertices
+        bvec = np.ones(n, dtype=np.int64)
+        bvec[::2] = 3
+        bs = b_suitor(medium_graph, bvec)
+        assert is_valid_b_matching(medium_graph, bs)
+        for v, ps in enumerate(bs.partners):
+            assert len(ps) <= bvec[v]
+
+    def test_zero_capacity_vertex(self):
+        g = build_graph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        bvec = np.array([0, 2, 2])
+        bs = b_suitor(g, bvec)
+        assert is_valid_b_matching(g, bs)
+        assert len(bs.partners[0]) == 0
+        assert bs.weight == 2.0
+
+    def test_weight_grows_with_b(self, medium_graph):
+        w1 = b_suitor(medium_graph, 1).weight
+        w2 = b_suitor(medium_graph, 2).weight
+        w4 = b_suitor(medium_graph, 4).weight
+        assert w1 < w2 < w4
+
+    def test_bad_b(self, medium_graph):
+        with pytest.raises(ValueError):
+            b_suitor(medium_graph, 0)
+        with pytest.raises(ValueError):
+            b_suitor(medium_graph, np.array([1, 2]))
+
+    def test_empty_graph(self):
+        bs = b_suitor(build_graph(4, []), 2)
+        assert bs.num_matched_edges == 0

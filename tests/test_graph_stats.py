@@ -1,0 +1,171 @@
+"""Tests for graph analytics and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from conftest import build_graph, random_graphs
+from repro.graph.stats import (
+    connected_components,
+    degree_histogram,
+    graph_stats,
+)
+from repro.graph.transform import (
+    drop_light_edges,
+    induced_subgraph,
+    largest_component,
+    relabel_by_degree,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self, path_graph):
+        labels = connected_components(path_graph)
+        assert len(np.unique(labels)) == 1
+
+    def test_two_components(self):
+        g = build_graph(5, [(0, 1, 1.0), (2, 3, 1.0)])
+        labels = connected_components(g)
+        # vertex 4 is isolated -> its own component
+        assert len(np.unique(labels)) == 3
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_labels_are_min_ids(self):
+        g = build_graph(4, [(2, 3, 1.0)])
+        labels = connected_components(g)
+        assert labels[2] == 2 and labels[3] == 2
+
+    def test_empty(self):
+        from repro.graph.csr import CSRGraph
+
+        assert len(connected_components(CSRGraph.empty(0))) == 0
+
+    @given(random_graphs(max_vertices=16, max_edges=30))
+    def test_matches_networkx(self, g):
+        import networkx as nx
+
+        from repro.graph.builders import to_networkx
+
+        ours = connected_components(g)
+        theirs = list(nx.connected_components(to_networkx(g)))
+        assert len(np.unique(ours)) == len(theirs)
+        for comp in theirs:
+            comp = list(comp)
+            assert len(np.unique(ours[comp])) == 1
+
+    def test_kmer_chains_are_components(self):
+        from repro.graph.generators import kmer_graph
+
+        g = kmer_graph(3000, avg_degree=2.0, num_chains=6, seed=9)
+        labels = connected_components(g)
+        assert len(np.unique(labels)) == 6
+
+
+class TestGraphStats:
+    def test_summary_fields(self, medium_graph):
+        s = graph_stats(medium_graph)
+        assert s.num_vertices == medium_graph.num_vertices
+        assert s.num_edges == medium_graph.num_edges
+        assert s.max_degree == medium_graph.max_degree
+        assert s.degree_skew == pytest.approx(
+            medium_graph.max_degree / medium_graph.avg_degree)
+        assert s.largest_component <= s.num_vertices
+        assert 0 < s.min_weight <= s.max_weight <= 1.0
+
+    def test_isolated_counted(self):
+        g = build_graph(6, [(0, 1, 0.5)])
+        s = graph_stats(g)
+        assert s.isolated_vertices == 4
+
+    def test_render(self, triangle):
+        text = graph_stats(triangle).render()
+        assert "|V| = 3" in text
+        assert "components: 1" in text
+
+
+class TestDegreeHistogram:
+    def test_counts_sum(self, medium_graph):
+        _, counts = degree_histogram(medium_graph)
+        assert counts.sum() == medium_graph.num_vertices
+
+    def test_linear_bins(self):
+        g = build_graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        edges, counts = degree_histogram(g, log_bins=False)
+        assert counts[1] == 2  # two degree-1 vertices
+        assert counts[2] == 1  # one degree-2 vertex
+
+    def test_empty(self):
+        from repro.graph.csr import CSRGraph
+
+        _, counts = degree_histogram(CSRGraph.empty(0))
+        assert len(counts) == 0
+
+
+class TestInducedSubgraph:
+    def test_basic(self, path_graph):
+        sub, old = induced_subgraph(path_graph, np.array([1, 2, 3]))
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2  # edges (1,2) and (2,3)
+        assert list(old) == [1, 2, 3]
+        sub.validate()
+
+    def test_weights_preserved(self, path_graph):
+        sub, _ = induced_subgraph(path_graph, np.array([2, 3]))
+        assert sub.edge_weight(0, 1) == 3.0
+
+    def test_out_of_range(self, path_graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(path_graph, np.array([99]))
+
+    def test_duplicates_ignored(self, path_graph):
+        sub, old = induced_subgraph(path_graph, np.array([1, 1, 2]))
+        assert sub.num_vertices == 2
+
+
+class TestLargestComponent:
+    def test_picks_biggest(self):
+        g = build_graph(7, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        lcc, old = largest_component(g)
+        assert lcc.num_vertices == 3
+        assert set(old.tolist()) == {2, 3, 4}
+
+    @given(random_graphs(max_vertices=14, max_edges=25))
+    def test_connected_result(self, g):
+        if g.num_vertices == 0:
+            return
+        lcc, _ = largest_component(g)
+        if lcc.num_vertices:
+            labels = connected_components(lcc)
+            assert len(np.unique(labels)) == 1
+
+
+class TestEdgeTransforms:
+    def test_drop_light_edges(self, path_graph):
+        pruned = drop_light_edges(path_graph, 2.5)
+        assert pruned.num_edges == 2  # weights 3 and 4 survive
+        pruned.validate()
+
+    def test_drop_none(self, path_graph):
+        assert drop_light_edges(path_graph, 0.0).num_edges == 4
+
+    def test_relabel_by_degree(self, medium_graph):
+        g2, old = relabel_by_degree(medium_graph)
+        g2.validate()
+        assert g2.num_edges == medium_graph.num_edges
+        d = g2.degrees
+        # new vertex 0 carries the old max degree
+        assert d[0] == medium_graph.max_degree
+        assert np.all(np.diff(d) <= 0) or d[0] >= d[-1]
+
+    def test_relabel_preserves_matching_weight(self, medium_graph):
+        from repro.matching.ld_seq import ld_seq
+
+        g2, _ = relabel_by_degree(medium_graph)
+        # the matching is a different labelling of the same problem:
+        # identical total weight under the relabelled total order is not
+        # guaranteed, but the optimum-bound sanity holds
+        w1 = ld_seq(medium_graph).weight
+        w2 = ld_seq(g2).weight
+        assert w2 == pytest.approx(w1, rel=0.1)

@@ -1,0 +1,224 @@
+"""LD-GPU tests: Lemma III.1 (equivalence with LD-SEQ) across device and
+batch configurations, memory behaviour, timeline accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import build_graph, random_graphs
+from repro.gpusim.memory import DeviceOOMError
+from repro.gpusim.spec import DGX_2, DGX_A100, DGX_A100_PCIE
+from repro.gpusim.timeline import COMPONENTS
+from repro.matching.ld_gpu import ld_gpu
+from repro.matching.ld_seq import ld_seq
+from repro.matching.validate import verify_result
+
+
+class TestEquivalenceWithLdSeq:
+    """The executable Lemma III.1: any (devices, batches) configuration
+    yields the bit-identical matching of the sequential algorithm."""
+
+    @pytest.mark.parametrize("nd", [1, 2, 3, 5, 8])
+    def test_device_sweep(self, medium_graph, nd):
+        ref = ld_seq(medium_graph)
+        r = ld_gpu(medium_graph, DGX_A100, num_devices=nd)
+        assert np.array_equal(ref.mate, r.mate)
+        verify_result(medium_graph, r)
+
+    @pytest.mark.parametrize("nb", [1, 2, 3, 6, 11])
+    def test_batch_sweep(self, medium_graph, nb):
+        ref = ld_seq(medium_graph)
+        r = ld_gpu(medium_graph, DGX_A100, num_devices=4, num_batches=nb)
+        assert np.array_equal(ref.mate, r.mate)
+
+    @pytest.mark.parametrize("nb", [2, 5])
+    def test_force_streaming_same_result(self, medium_graph, nb):
+        ref = ld_seq(medium_graph)
+        r = ld_gpu(medium_graph, DGX_A100, num_devices=2, num_batches=nb,
+                   force_streaming=True)
+        assert np.array_equal(ref.mate, r.mate)
+
+    def test_dgx2_sixteen_devices(self, medium_graph):
+        ref = ld_seq(medium_graph)
+        r = ld_gpu(medium_graph, DGX_2, num_devices=16)
+        assert np.array_equal(ref.mate, r.mate)
+
+    @given(random_graphs(max_vertices=20, max_edges=50),
+           st.integers(1, 4), st.sampled_from([None, 1, 2, 4]))
+    def test_property_equivalence(self, g, nd, nb):
+        ref = ld_seq(g)
+        r = ld_gpu(g, DGX_A100, num_devices=nd, num_batches=nb)
+        assert np.array_equal(ref.mate, r.mate)
+
+    @given(random_graphs(max_vertices=16, max_edges=40, tie_prone=True),
+           st.integers(1, 4))
+    def test_property_equivalence_ties(self, g, nd):
+        ref = ld_seq(g)
+        r = ld_gpu(g, DGX_A100, num_devices=nd)
+        assert np.array_equal(ref.mate, r.mate)
+
+    def test_same_iteration_count_as_seq(self, medium_graph):
+        # both terminate after the same number of rounds
+        assert ld_gpu(medium_graph, num_devices=3).iterations == \
+            ld_seq(medium_graph).iterations
+
+
+class TestConfiguration:
+    def test_zero_devices(self, medium_graph):
+        with pytest.raises(ValueError):
+            ld_gpu(medium_graph, num_devices=0)
+
+    def test_too_many_devices(self, medium_graph):
+        with pytest.raises(ValueError, match="only"):
+            ld_gpu(medium_graph, DGX_A100, num_devices=9)
+
+    def test_config_echo(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, num_batches=3)
+        cfg = r.stats["config"]
+        assert cfg.num_devices == 2
+        assert cfg.num_batches == 3
+        assert cfg.platform == "DGX-A100"
+
+    def test_partition_offsets_cover(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=4)
+        off = r.stats["partition_offsets"]
+        assert off[0] == 0
+        assert off[-1] == medium_graph.num_vertices
+
+
+class TestMemoryBehaviour:
+    def test_oom_when_fixed_arrays_dont_fit(self, medium_graph):
+        tiny = DGX_A100.with_device_memory(100)
+        with pytest.raises(DeviceOOMError):
+            ld_gpu(medium_graph, tiny, num_devices=1)
+
+    def test_auto_batching_kicks_in(self, medium_graph):
+        n = medium_graph.num_vertices
+        fixed = 2 * n * 8 + (n + 1) * 8
+        edges = medium_graph.num_directed_edges * 16
+        plat = DGX_A100.with_device_memory(fixed + edges // 2)
+        r = ld_gpu(medium_graph, plat, num_devices=1)
+        assert r.stats["config"].num_batches > 1
+        assert np.array_equal(r.mate, ld_seq(medium_graph).mate)
+
+    def test_explicit_single_batch_oom(self, medium_graph):
+        n = medium_graph.num_vertices
+        fixed = 2 * n * 8 + (n + 1) * 8
+        edges = medium_graph.num_directed_edges * 16
+        plat = DGX_A100.with_device_memory(fixed + edges // 2)
+        with pytest.raises(DeviceOOMError):
+            ld_gpu(medium_graph, plat, num_devices=1, num_batches=1)
+
+    def test_peak_memory_reported(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        peaks = r.stats["device_peak_bytes"]
+        assert len(peaks) == 2
+        assert all(p > 0 for p in peaks)
+
+    def test_more_devices_smaller_partitions(self, medium_graph):
+        n = medium_graph.num_vertices
+        fixed = 2 * n * 8 + (n + 1) * 8
+        edges = medium_graph.num_directed_edges * 16
+        plat = DGX_A100.with_device_memory(fixed + edges // 2)
+        # 4 devices: each partition ~ edges/4 < edges/2 -> resident
+        r = ld_gpu(medium_graph, plat, num_devices=4)
+        assert r.stats["config"].num_batches == 1
+
+
+class TestTimeline:
+    def test_components_populated(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=4)
+        t = r.timeline
+        assert t.totals["pointing"] > 0
+        assert t.totals["matching"] > 0
+        assert t.totals["allreduce_pointers"] > 0
+        assert t.totals["allreduce_mate"] > 0
+        assert t.totals["sync"] > 0
+        assert r.sim_time == pytest.approx(t.total)
+
+    def test_single_device_no_collectives(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=1)
+        assert r.timeline.totals["allreduce_pointers"] == 0.0
+        assert r.timeline.totals["allreduce_mate"] == 0.0
+
+    def test_iteration_records(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        assert len(r.timeline.iterations) == r.iterations
+
+    def test_no_batch_transfer_when_resident(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, num_batches=3)
+        assert r.timeline.totals["batch_transfer"] == 0.0
+
+    def test_streaming_charges_transfer(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, num_batches=3,
+                   force_streaming=True)
+        assert r.timeline.totals["batch_transfer"] > 0
+        assert r.stats["initial_transfer_s"] > 0
+
+    def test_initial_transfer_excluded(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, num_batches=3,
+                   force_streaming=True, max_iterations=1)
+        # only the first iteration ran; its loads are the partition
+        # placement and must not be charged
+        assert r.timeline.totals["batch_transfer"] == 0.0
+        assert r.stats["initial_transfer_s"] > 0
+
+    def test_nvlink_beats_pcie(self, medium_graph):
+        nv = ld_gpu(medium_graph, DGX_A100, num_devices=4)
+        pc = ld_gpu(medium_graph, DGX_A100_PCIE, num_devices=4)
+        assert pc.sim_time > nv.sim_time
+
+    def test_multi_gpu_comm_dominates(self, medium_graph):
+        # the paper's Fig. 5 headline: ≥50% communication at multi-GPU
+        r = ld_gpu(medium_graph, num_devices=8)
+        assert r.timeline.communication_fraction() > 0.5
+
+
+class TestIterationStats:
+    def test_series_lengths(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        for key in ("edges_scanned", "occupancy", "warp_work_mean",
+                    "warp_work_std", "new_matches"):
+            assert len(r.stats[key]) == r.iterations
+
+    def test_first_iteration_scans_everything(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        assert r.stats["edges_scanned"][0] == \
+            medium_graph.num_directed_edges
+
+    def test_matches_sum(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=3)
+        assert r.stats["new_matches"].sum() == r.num_matched_edges
+
+    def test_occupancy_in_unit_range(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        occ = r.stats["occupancy"]
+        assert np.all(occ >= 0.0) and np.all(occ <= 1.0)
+
+    def test_stats_disabled(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, collect_stats=False)
+        assert "edges_scanned" not in r.stats
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = build_graph(6, [])
+        r = ld_gpu(g, num_devices=3)
+        assert r.num_matched_edges == 0
+        assert r.iterations == 1
+
+    def test_single_edge_across_partition(self):
+        # vertices land on different devices; the cut edge must match
+        g = build_graph(2, [(0, 1, 1.0)])
+        r = ld_gpu(g, num_devices=2)
+        assert r.mate[0] == 1
+
+    def test_more_devices_than_vertices(self):
+        g = build_graph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        r = ld_gpu(g, num_devices=8)
+        assert np.array_equal(r.mate, ld_seq(g).mate)
+
+    def test_max_iterations(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, max_iterations=2)
+        assert r.iterations == 2

@@ -1,0 +1,105 @@
+"""Tests for FoM, quality and work-statistics metrics."""
+
+import numpy as np
+import pytest
+
+from conftest import build_graph
+from repro.matching.ld_seq import ld_seq
+from repro.matching.types import MatchResult, UNMATCHED
+from repro.metrics.fom import mmeps
+from repro.metrics.quality import geometric_mean, percent_below_optimal
+from repro.metrics.workstats import (
+    edges_accessed_fraction,
+    iterations_below_fraction,
+)
+
+
+def result_with(n_matched_edges, sim_time=None):
+    mate = np.full(2 * n_matched_edges, UNMATCHED, dtype=np.int64)
+    for k in range(n_matched_edges):
+        mate[2 * k] = 2 * k + 1
+        mate[2 * k + 1] = 2 * k
+    return MatchResult(mate, float(n_matched_edges), "t",
+                       sim_time=sim_time)
+
+
+class TestMmeps:
+    def test_basic(self):
+        r = result_with(2_000_000, sim_time=2.0)
+        assert mmeps(r) == pytest.approx(1.0)
+
+    def test_explicit_seconds(self):
+        r = result_with(1_000_000)
+        assert mmeps(r, seconds=0.5) == pytest.approx(2.0)
+
+    def test_missing_time(self):
+        with pytest.raises(ValueError, match="sim_time"):
+            mmeps(result_with(10))
+
+    def test_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            mmeps(result_with(10), seconds=0.0)
+
+
+class TestQuality:
+    def test_pct_below(self):
+        assert percent_below_optimal(94.0, 100.0) == pytest.approx(6.0)
+
+    def test_zero_gap(self):
+        assert percent_below_optimal(5.0, 5.0) == 0.0
+
+    def test_rejects_above_optimal(self):
+        with pytest.raises(ValueError):
+            percent_below_optimal(11.0, 10.0)
+
+    def test_rejects_bad_optimum(self):
+        with pytest.raises(ValueError):
+            percent_below_optimal(1.0, 0.0)
+
+    def test_tolerates_float_noise(self):
+        assert percent_below_optimal(10.0 + 1e-12, 10.0) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_with_zero(self):
+        # floored, not zeroed
+        assert geometric_mean([0.0, 4.0]) > 0
+
+    def test_geometric_mean_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_paper_table2_row(self):
+        """Recompute a Table II style row end-to-end on a tiny graph."""
+        g = build_graph(4, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 2.0)])
+        from repro.matching.blossom import blossom_mwm
+
+        opt = blossom_mwm(g).weight  # 4.0
+        ld = ld_seq(g).weight  # 3.0
+        assert percent_below_optimal(ld, opt) == pytest.approx(25.0)
+
+
+class TestWorkStats:
+    def test_fraction(self):
+        frac = edges_accessed_fraction(np.array([100, 10]), 200)
+        assert list(frac) == [0.5, 0.05]
+
+    def test_fraction_bad_total(self):
+        with pytest.raises(ValueError):
+            edges_accessed_fraction(np.array([1]), 0)
+
+    def test_iterations_below(self):
+        scanned = np.array([200, 30, 10, 5])
+        assert iterations_below_fraction(scanned, 200, 0.2) == 0.75
+
+    def test_iterations_below_empty(self):
+        assert iterations_below_fraction(np.array([]), 100) == 0.0
+
+    def test_paper_fig8_headline(self, medium_graph):
+        """Most iterations touch a small share of the edges."""
+        r = ld_seq(medium_graph)
+        below = iterations_below_fraction(
+            r.stats["edges_scanned"], medium_graph.num_directed_edges, 0.2
+        )
+        assert below >= 0.5

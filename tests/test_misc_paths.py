@@ -1,0 +1,126 @@
+"""Coverage for secondary paths: vertex partitioning in LD-GPU, profiler
+rows, CLI flags, collective bandwidth helpers, suitor knobs."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.comm.topology import NVLINK_SXM4, PCIE4
+from repro.gpusim.report import iteration_rows
+from repro.gpusim.spec import DGX_A100
+from repro.matching.ld_gpu import ld_gpu
+from repro.matching.ld_seq import ld_seq
+from repro.matching.suitor import suitor_gpu_sim
+
+
+class TestVertexPartitionMode:
+    def test_same_matching(self, medium_graph):
+        ref = ld_seq(medium_graph)
+        r = ld_gpu(medium_graph, num_devices=4, partition="vertex",
+                   collect_stats=False)
+        assert np.array_equal(r.mate, ref.mate)
+
+    def test_unknown_partition(self, medium_graph):
+        with pytest.raises(ValueError, match="partition strategy"):
+            ld_gpu(medium_graph, num_devices=2, partition="hash")
+
+    def test_edge_balanced_no_slower_on_skew(self):
+        from repro.graph.generators import webcrawl_graph
+
+        g = webcrawl_graph(4000, out_degree=12, seed=44)
+        e = ld_gpu(g, num_devices=4, collect_stats=False)
+        v = ld_gpu(g, num_devices=4, partition="vertex",
+                   collect_stats=False)
+        assert e.sim_time <= v.sim_time * 1.001
+
+
+class TestVerticesPerWarp:
+    def test_affects_time_not_result(self, medium_graph):
+        a = ld_gpu(medium_graph, num_devices=1, vertices_per_warp=1,
+                   collect_stats=False)
+        b = ld_gpu(medium_graph, num_devices=1, vertices_per_warp=32,
+                   collect_stats=False)
+        assert np.array_equal(a.mate, b.mate)
+        assert a.sim_time != b.sim_time
+
+    def test_config_echo(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=1, vertices_per_warp=16,
+                   collect_stats=False)
+        assert r.stats["config"].vertices_per_warp == 16
+
+
+class TestProfilerRows:
+    def test_row_shape(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        rows = iteration_rows(r)
+        assert len(rows) == r.iterations
+        # iter index + 6 components + total + scanned + occ + matches
+        assert len(rows[0]) == 11
+
+    def test_totals_match_timeline(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        rows = iteration_rows(r)
+        total_ms = sum(row[7] for row in rows)
+        assert total_ms == pytest.approx(1e3 * r.sim_time, rel=1e-9)
+
+    def test_without_stats_columns(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, collect_stats=False)
+        rows = iteration_rows(r)
+        assert rows[0][8] is None  # edges scanned absent
+
+
+class TestCollectiveBandwidth:
+    def test_nvlink_not_shared(self):
+        assert NVLINK_SXM4.collective_bandwidth_bps(8) == \
+            NVLINK_SXM4.collective_bandwidth_bps(2)
+
+    def test_pcie_contends(self):
+        assert PCIE4.collective_bandwidth_bps(8) < \
+            PCIE4.collective_bandwidth_bps(2)
+        assert PCIE4.collective_bandwidth_bps(8) == pytest.approx(
+            PCIE4.collective_bandwidth_bps(2) / 4.0)
+
+    def test_efficiency_applied(self):
+        assert NVLINK_SXM4.collective_bandwidth_bps(2) == pytest.approx(
+            600e9 * 0.08)
+
+
+class TestSuitorGpuKnobs:
+    def test_vpw_changes_time_only(self, medium_graph):
+        a = suitor_gpu_sim(medium_graph, vertices_per_warp=1)
+        b = suitor_gpu_sim(medium_graph, vertices_per_warp=8)
+        assert np.array_equal(a.mate, b.mate)
+
+    def test_representation_bytes_reported(self, medium_graph):
+        r = suitor_gpu_sim(medium_graph)
+        assert r.stats["representation_bytes"] < \
+            medium_graph.memory_bytes() * 1.15
+
+
+class TestCliFlags:
+    def test_profile_flag(self, capsys):
+        assert main(["run", "-a", "ld_gpu", "-d", "mouse_gene",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile" in out
+        assert "edges scanned" in out
+
+    def test_trace_flag(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["run", "-a", "ld_gpu", "-d", "mouse_gene",
+                     "--trace", str(path)]) == 0
+        assert path.exists()
+        assert "trace written" in capsys.readouterr().out
+
+    def test_run_sr_gpu_branch(self, capsys):
+        assert main(["run", "-a", "sr_gpu", "-d", "mouse_gene"]) == 0
+        assert "suitor_gpu" in capsys.readouterr().out
+
+    def test_run_sr_omp_branch(self, capsys):
+        assert main(["run", "-a", "sr_omp", "-d", "mouse_gene"]) == 0
+        assert "suitor_omp" in capsys.readouterr().out
+
+    def test_run_cugraph_branch(self, capsys):
+        assert main(["run", "-a", "cugraph", "-d", "mouse_gene",
+                     "-n", "2"]) == 0
+        assert "cugraph_mg" in capsys.readouterr().out

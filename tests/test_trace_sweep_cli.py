@@ -1,0 +1,160 @@
+"""Tests for execution traces, configuration sweeps and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.gpusim.spec import DGX_A100, DGX_A100_PCIE
+from repro.gpusim.timeline import Timeline
+from repro.gpusim.trace import Trace, TraceEvent
+from repro.harness.sweep import SweepPoint, sweep_ld_gpu
+from repro.matching.ld_gpu import ld_gpu
+
+
+class TestTrace:
+    def test_from_timeline(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        trace = Trace.from_timeline(r.timeline)
+        assert len(trace) > 0
+        assert trace.total_duration == pytest.approx(r.sim_time)
+
+    def test_events_ordered_and_disjoint(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2)
+        trace = Trace.from_timeline(r.timeline)
+        end = 0.0
+        for e in trace.events:
+            assert e.start_s >= end - 1e-12
+            end = e.start_s + e.duration_s
+
+    def test_lane_totals_match_components(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=4)
+        trace = Trace.from_timeline(r.timeline)
+        lanes = trace.lane_totals()
+        t = r.timeline.totals
+        assert lanes["compute"] == pytest.approx(
+            t["pointing"] + t["matching"])
+        assert lanes["communication"] == pytest.approx(
+            t["allreduce_pointers"] + t["allreduce_mate"]
+            + t["batch_transfer"] + t["sync"])
+
+    def test_chrome_trace_schema(self, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, max_iterations=2)
+        doc = Trace.from_timeline(r.timeline).to_chrome_trace()
+        assert "traceEvents" in doc
+        ev = doc["traceEvents"][0]
+        assert ev["ph"] == "X"
+        assert ev["ts"] >= 0 and ev["dur"] > 0
+
+    def test_save_round_trip(self, tmp_path, medium_graph):
+        r = ld_gpu(medium_graph, num_devices=2, max_iterations=1)
+        trace = Trace.from_timeline(r.timeline)
+        path = tmp_path / "t.json"
+        trace.save(path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == len(trace)
+
+    def test_empty_timeline(self):
+        trace = Trace.from_timeline(Timeline())
+        assert len(trace) == 0
+        assert trace.total_duration == 0.0
+
+
+class TestSweep:
+    def test_grid_coverage(self, medium_graph):
+        result = sweep_ld_gpu(
+            medium_graph,
+            platforms=(DGX_A100,),
+            device_counts=(1, 2),
+            batch_counts=(None, 3),
+        )
+        assert len(result.points) == 4
+        assert all(p.ok for p in result.points)
+
+    def test_best_is_minimum(self, medium_graph):
+        result = sweep_ld_gpu(medium_graph, device_counts=(1, 2, 4))
+        times = [p.time_s for p in result.points if p.ok]
+        assert result.best.time_s == min(times)
+
+    def test_oom_points_recorded(self, medium_graph):
+        n = medium_graph.num_vertices
+        tiny = DGX_A100.with_device_memory(
+            2 * n * 8 + (n + 1) * 8 + medium_graph.num_directed_edges * 4
+        )
+        result = sweep_ld_gpu(medium_graph, platforms=(tiny,),
+                              device_counts=(1,), batch_counts=(1, None))
+        oom = [p for p in result.points if not p.ok]
+        assert len(oom) == 1  # the forced single batch cannot fit
+
+    def test_multiple_platforms(self, medium_graph):
+        result = sweep_ld_gpu(
+            medium_graph, platforms=(DGX_A100, DGX_A100_PCIE),
+            device_counts=(2,),
+        )
+        names = {p.platform for p in result.points}
+        assert names == {"DGX-A100", "DGX-A100-PCIe"}
+
+    def test_render(self, medium_graph):
+        result = sweep_ld_gpu(medium_graph, device_counts=(1,))
+        text = result.render()
+        assert "LD-GPU sweep" in text
+        assert "#GPUs" in text
+
+    def test_device_limit_respected(self, medium_graph):
+        result = sweep_ld_gpu(medium_graph, device_counts=(4, 99))
+        assert all(p.num_devices <= 8 for p in result.points)
+
+
+class TestCli:
+    def test_parser_commands(self):
+        p = build_parser()
+        args = p.parse_args(["list", "datasets"])
+        assert args.command == "list"
+        args = p.parse_args(["run", "-a", "ld_seq", "-d", "mouse_gene"])
+        assert args.algorithm == "ld_seq"
+        args = p.parse_args(["sweep", "-d", "kmer_V2a", "-n", "1", "2"])
+        assert args.devices == [1, 2]
+        args = p.parse_args(["experiment", "table3", "--quick"])
+        assert args.quick
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-a", "ld_seq",
+                                       "-d", "nope"])
+
+    def test_list_algorithms(self, capsys):
+        assert main(["list", "algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "ld_gpu" in out
+        assert "blossom" in out
+
+    def test_list_datasets(self, capsys):
+        assert main(["list", "datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "GAP-kron" in out
+        assert "LARGE" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list", "experiments"]) == 0
+        assert "fig11" in capsys.readouterr().out
+
+    def test_run_ld_gpu(self, capsys):
+        assert main(["run", "-a", "ld_gpu", "-d", "mouse_gene",
+                     "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ld_gpu:" in out
+        assert "% time" in out
+
+    def test_run_plain_algorithm(self, capsys):
+        assert main(["run", "-a", "greedy", "-d", "mouse_gene"]) == 0
+        assert "greedy:" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "-d", "mouse_gene", "-n", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_experiment_quick(self, capsys):
+        assert main(["experiment", "table3", "--quick"]) == 0
+        assert "A100 speedup" in capsys.readouterr().out
