@@ -20,7 +20,8 @@ from repro.graph.generators import (
     webcrawl_graph,
 )
 from repro.gpusim.stream import dual_buffer_schedule
-from repro.harness.datasets import load_dataset, scaled_platform
+from repro.engine import RunContext
+from repro.harness.datasets import load_dataset
 from repro.matching.ld_gpu import ld_gpu
 from repro.matching.ld_seq import ld_seq
 from repro.matching.validate import is_maximal_matching
@@ -87,7 +88,7 @@ class TestPartitionAblation:
         hub rows on few devices; the paper's edge-balanced split keeps
         per-device pointing work even and the run faster."""
         g = load_dataset("webbase-2001")
-        plat = scaled_platform("webbase-2001")
+        plat = RunContext.for_dataset("webbase-2001").platform
         edge = run_once(benchmark, ld_gpu, g, plat, 4,
                         collect_stats=False)
         vert = ld_gpu(g, plat, num_devices=4, collect_stats=False,
@@ -110,7 +111,7 @@ class TestDualBufferAblation:
         """Dual buffering hides transfer behind compute; a serial
         load-then-compute schedule pays the full sum."""
         g = load_dataset("kmer_U1a")
-        plat = scaled_platform("kmer_U1a")
+        plat = RunContext.for_dataset("kmer_U1a").platform
         r = run_once(benchmark, ld_gpu, g, plat, 2, 5,
                      force_streaming=True, collect_stats=False)
         overlapped = r.sim_time

@@ -33,9 +33,9 @@ class TestMatchingKernels:
         assert r.num_matched_edges > 0
 
     def test_ld_gpu_4dev_wall_time(self, benchmark, kron):
-        from repro.harness.datasets import scaled_platform
+        from repro.engine import RunContext
 
-        plat = scaled_platform("GAP-kron")
+        plat = RunContext.for_dataset("GAP-kron").platform
         r = benchmark(ld_gpu, kron, plat, 4)
         assert r.num_matched_edges > 0
 

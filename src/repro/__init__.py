@@ -82,6 +82,12 @@ from repro.matching import (
     verify_result,
 )
 from repro.metrics import mmeps, percent_below_optimal
+from repro.engine import (
+    AlgorithmSpec,
+    RunContext,
+    RunRecord,
+    execute,
+)
 
 __version__ = "1.0.0"
 
@@ -145,5 +151,10 @@ __all__ = [
     # metrics
     "mmeps",
     "percent_below_optimal",
+    # engine
+    "AlgorithmSpec",
+    "RunContext",
+    "RunRecord",
+    "execute",
     "__version__",
 ]

@@ -7,9 +7,11 @@ Four subcommands::
     repro-matching experiment table1 [--quick]
     repro-matching list [datasets|algorithms|experiments]
 
-``run`` executes one algorithm on one dataset analog and prints the
-result summary; ``sweep`` runs LD-GPU over a configuration grid;
-``experiment`` regenerates a paper table/figure.
+``run`` executes one algorithm on one dataset analog through the
+:mod:`repro.engine` registry — any registered algorithm works with the
+same flags, and ``--json`` emits the machine-readable
+:class:`~repro.engine.record.RunRecord`; ``sweep`` runs LD-GPU over a
+configuration grid; ``experiment`` regenerates a paper table/figure.
 """
 
 from __future__ import annotations
@@ -18,14 +20,14 @@ import argparse
 import sys
 from typing import Callable
 
+from repro.engine import RunContext, TraceSink, algorithm_names, execute
 from repro.harness import experiments as exp
 from repro.harness.datasets import (
     DATASETS,
+    PLATFORMS,
     load_dataset,
-    scaled_cpu,
-    scaled_platform,
+    quality_instance,
 )
-from repro.harness.runners import ALGORITHMS, run_algorithm
 from repro.harness.report import format_table
 
 __all__ = ["main", "build_parser"]
@@ -59,13 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     runp = sub.add_parser("run", help="run one algorithm on one dataset")
     runp.add_argument("--algorithm", "-a", required=True,
-                      choices=sorted(ALGORITHMS))
+                      choices=algorithm_names())
     runp.add_argument("--dataset", "-d", required=True,
                       choices=sorted(DATASETS))
     runp.add_argument("--devices", "-n", type=int, default=1,
-                      help="simulated GPUs (ld_gpu / cugraph)")
+                      help="simulated GPUs (multi-GPU algorithms)")
     runp.add_argument("--batches", "-b", type=int, default=None,
                       help="batches per device (ld_gpu; default auto)")
+    runp.add_argument("--seed", type=int, default=None,
+                      help="RNG seed forwarded to randomised algorithms")
+    runp.add_argument("--quality", action="store_true",
+                      help="run on the dataset's tiny blossom-tractable "
+                           "quality instance instead of the full analog")
+    runp.add_argument("--json", action="store_true",
+                      help="print the structured RunRecord as JSON "
+                           "instead of the human-readable summary")
     runp.add_argument("--profile", action="store_true",
                       help="print the per-iteration profiler table "
                            "(simulator-backed algorithms)")
@@ -88,8 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweepp.add_argument("--batches", "-b", type=int, nargs="+",
                         default=None,
                         help="batch counts (default: auto only)")
-    sweepp.add_argument("--platform", choices=["DGX-A100", "DGX-2",
-                                               "DGX-A100-PCIe"],
+    sweepp.add_argument("--platform", choices=sorted(PLATFORMS),
                         default="DGX-A100")
 
     listp = sub.add_parser("list", help="list registered entities")
@@ -99,54 +108,47 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    g = load_dataset(args.dataset)
-    kwargs: dict = {}
-    if args.algorithm == "ld_gpu":
-        kwargs = {
-            "platform": scaled_platform(args.dataset),
-            "num_devices": args.devices,
-            "num_batches": args.batches,
-        }
-    elif args.algorithm == "cugraph":
-        kwargs = {
-            "platform": scaled_platform(args.dataset),
-            "num_devices": args.devices,
-        }
-    elif args.algorithm == "sr_gpu":
-        kwargs = {"spec": scaled_platform(args.dataset).device}
-    elif args.algorithm == "sr_omp":
-        kwargs = {"cpu": scaled_cpu(args.dataset)}
-    result = run_algorithm(args.algorithm, g, **kwargs)
+    g = quality_instance(args.dataset) if args.quality \
+        else load_dataset(args.dataset)
+    sinks = (TraceSink(path=args.trace),) if args.trace else ()
+    ctx = RunContext.for_dataset(
+        args.dataset,
+        graph=g,
+        num_devices=args.devices,
+        num_batches=args.batches,
+        seed=args.seed,
+        sinks=sinks,
+    )
+    record = execute(args.algorithm, g, ctx)
+    if args.json:
+        print(record.to_json(indent=1))
+        return 0
+    result = record.result
     print(f"{g!r}")
     print(result.summary())
     if result.timeline is not None:
         if args.profile:
             from repro.gpusim.report import profile_report
 
-            print(profile_report(result))
+            print(profile_report(record))
         else:
             frac = result.timeline.fractions()
             rows = [[k, 100.0 * v] for k, v in frac.items() if v > 0]
             print(format_table(["component", "% time"], rows,
                                floatfmt=".1f"))
-        if args.trace:
-            from repro.gpusim.trace import Trace
-
-            Trace.from_timeline(result.timeline).save(args.trace)
-            print(f"trace written to {args.trace}")
+    if args.trace and sinks[0].saved_paths:
+        print(f"trace written to {sinks[0].saved_paths[0]}")
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.gpusim.spec import DGX_2, DGX_A100, DGX_A100_PCIE
     from repro.harness.sweep import sweep_ld_gpu
 
-    base = {"DGX-A100": DGX_A100, "DGX-2": DGX_2,
-            "DGX-A100-PCIe": DGX_A100_PCIE}[args.platform]
-    plat = scaled_platform(args.dataset, base)
+    ctx = RunContext.for_dataset(args.dataset,
+                                 platform=PLATFORMS[args.platform])
     g = load_dataset(args.dataset)
     batches = tuple(args.batches) if args.batches else (None,)
-    result = sweep_ld_gpu(g, platforms=(plat,),
+    result = sweep_ld_gpu(g, platforms=(ctx.platform,),
                           device_counts=tuple(args.devices),
                           batch_counts=batches)
     print(result.render())
@@ -172,8 +174,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
             ["name", "group", "paper |V|", "paper |E|", "notes"], rows
         ))
     elif args.what == "algorithms":
-        for name in sorted(ALGORITHMS):
-            print(name)
+        from repro.engine import algorithm_specs
+
+        rows = [
+            [s.name, ", ".join(s.capability_tags), s.summary]
+            for s in algorithm_specs()
+        ]
+        print(format_table(["algorithm", "capabilities", "summary"],
+                           rows))
     else:
         for name in sorted(EXPERIMENTS):
             print(name)

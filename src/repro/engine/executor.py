@@ -1,0 +1,91 @@
+"""The one way to run a registered algorithm.
+
+:func:`execute` resolves a spec, binds context-owned keyword arguments,
+runs the algorithm under wall-clock timing, notifies the context's
+instrumentation sinks and returns a uniform
+:class:`~repro.engine.record.RunRecord` — the same structured shape for
+``ld_gpu`` on eight simulated GPUs and for a pure-Python exact solver.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.context import RunContext
+from repro.engine.record import RunRecord, _coerce
+from repro.engine.spec import AlgorithmSpec, get_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRGraph
+    from repro.matching.types import MatchResult
+
+__all__ = ["execute"]
+
+
+def _resolved_batches(spec: AlgorithmSpec, ctx: RunContext,
+                      result: "MatchResult") -> int | None:
+    """The batch count actually used (auto-fit resolves ``None``)."""
+    if not spec.needs_batches:
+        return None
+    cfg = result.stats.get("config")
+    resolved = getattr(cfg, "num_batches", None)
+    return resolved if resolved is not None else ctx.num_batches
+
+
+def execute(
+    algorithm: "str | AlgorithmSpec",
+    graph: "CSRGraph",
+    ctx: RunContext | None = None,
+    **overrides: Any,
+) -> RunRecord:
+    """Run ``algorithm`` on ``graph`` under ``ctx``.
+
+    ``overrides`` are forwarded verbatim to the algorithm callable on
+    top of the bound context kwargs (e.g. ``collect_stats=False``,
+    ``max_iterations=3``).  Algorithm-specific errors (notably
+    :class:`~repro.gpusim.memory.DeviceOOMError`) propagate so callers
+    can render the paper's '-' entries.
+    """
+    spec = algorithm if isinstance(algorithm, AlgorithmSpec) \
+        else get_spec(algorithm)
+    if ctx is None:
+        ctx = RunContext()
+    kwargs = spec.bind(graph, ctx)
+    kwargs.update(overrides)
+
+    for sink in ctx.sinks:
+        sink.on_run_start(spec, graph, ctx)
+
+    t0 = time.perf_counter()
+    result = spec.fn(graph, **kwargs)
+    wall = time.perf_counter() - t0
+
+    record = RunRecord(
+        algorithm=spec.name,
+        graph=graph.name,
+        num_vertices=int(graph.num_vertices),
+        num_directed_edges=int(graph.num_directed_edges),
+        weight=float(result.weight),
+        matched_edges=int(result.num_matched_edges),
+        iterations=int(result.iterations),
+        sim_time=float(result.sim_time)
+        if result.sim_time is not None else None,
+        wall_time_s=wall,
+        dataset=ctx.dataset,
+        platform=ctx.resolved_platform().name
+        if (spec.needs_platform or spec.needs_device_spec) else None,
+        cpu=ctx.resolved_cpu().name if spec.needs_cpu else None,
+        num_devices=ctx.num_devices if spec.needs_devices else None,
+        num_batches=_resolved_batches(spec, ctx, result),
+        seed=kwargs.get("seed"),
+        capability_tags=spec.capability_tags,
+        timeline_totals=_coerce(result.timeline.totals)
+        if result.timeline is not None else None,
+        extra={},
+        result=result,
+    )
+
+    for sink in ctx.sinks:
+        sink.on_run_end(record)
+    return record

@@ -1,0 +1,110 @@
+"""Uniform structured results for any algorithm run.
+
+A :class:`RunRecord` is what :func:`~repro.engine.executor.execute`
+returns: the scalar outcome of a run (weight, matched edges, iterations,
+modeled and wall-clock seconds) plus the configuration that produced it,
+in a shape that serialises losslessly to JSON.  The raw
+:class:`~repro.matching.types.MatchResult` rides along in ``.result`` for
+in-process callers but is excluded from serialisation (mate arrays are
+persisted separately via ``MatchResult.save``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+__all__ = ["RunRecord", "SCHEMA_VERSION"]
+
+#: Bump when the serialised field set changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def _coerce(v: Any) -> Any:
+    """NumPy scalars/arrays → plain Python (JSON-safe)."""
+    import numpy as np
+
+    if isinstance(v, np.generic):
+        return v.item()
+    if isinstance(v, np.ndarray):
+        return v.tolist()
+    if isinstance(v, dict):
+        return {k: _coerce(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_coerce(x) for x in v]
+    return v
+
+
+@dataclass
+class RunRecord:
+    """One algorithm run, flattened for machines.
+
+    Everything except ``result`` round-trips through
+    :meth:`to_dict` / :meth:`from_dict` (and therefore ``--json``).
+    """
+
+    algorithm: str
+    graph: str
+    num_vertices: int
+    num_directed_edges: int
+    weight: float
+    matched_edges: int
+    iterations: int
+    sim_time: float | None = None
+    wall_time_s: float = 0.0
+    dataset: str | None = None
+    platform: str | None = None
+    cpu: str | None = None
+    num_devices: int | None = None
+    num_batches: int | None = None
+    seed: int | None = None
+    capability_tags: tuple[str, ...] = ()
+    timeline_totals: dict[str, float] | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+    #: The producing MatchResult — in-process only, never serialised.
+    result: Any = field(default=None, compare=False, repr=False)
+
+    # -------------------------------------------------------------- #
+    # serialisation
+    # -------------------------------------------------------------- #
+
+    _SERIALISED = None  # populated below, after the dataclass exists
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict (numpy coerced, ``result`` dropped)."""
+        out: dict[str, Any] = {"schema": SCHEMA_VERSION}
+        for name in self._SERIALISED:
+            out[name] = _coerce(getattr(self, name))
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_dict` (``result`` is ``None``)."""
+        schema = d.get("schema", SCHEMA_VERSION)
+        if schema > SCHEMA_VERSION:
+            raise ValueError(
+                f"RunRecord schema {schema} is newer than supported "
+                f"({SCHEMA_VERSION})"
+            )
+        kwargs = {k: d[k] for k in cls._SERIALISED if k in d}
+        if "capability_tags" in kwargs:
+            kwargs["capability_tags"] = tuple(kwargs["capability_tags"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """:meth:`to_dict` as a JSON string."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        """Parse a string written by :meth:`to_json`."""
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+
+RunRecord._SERIALISED = tuple(
+    f.name for f in fields(RunRecord) if f.name != "result"
+)

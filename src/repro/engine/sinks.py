@@ -1,0 +1,92 @@
+"""Pluggable instrumentation for engine-executed runs.
+
+Sinks attach to a :class:`~repro.engine.context.RunContext` and are
+notified by :func:`~repro.engine.executor.execute` around every run.
+Built-ins cover the common cases — wall-clock accounting, iteration
+counting, and capture/export of simulator traces — and custom sinks just
+subclass :class:`InstrumentationSink`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import RunContext
+    from repro.engine.record import RunRecord
+    from repro.engine.spec import AlgorithmSpec
+    from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "InstrumentationSink",
+    "WallClockSink",
+    "IterationCounterSink",
+    "TraceSink",
+]
+
+
+class InstrumentationSink:
+    """Base sink: both hooks are no-ops; override what you need."""
+
+    def on_run_start(self, spec: "AlgorithmSpec", graph: "CSRGraph",
+                     ctx: "RunContext") -> None:
+        """Called just before the algorithm callable runs."""
+
+    def on_run_end(self, record: "RunRecord") -> None:
+        """Called with the finished :class:`RunRecord`."""
+
+
+class WallClockSink(InstrumentationSink):
+    """Accumulates measured wall seconds per algorithm."""
+
+    def __init__(self) -> None:
+        self.runs: list[tuple[str, float]] = []
+
+    def on_run_end(self, record: "RunRecord") -> None:
+        self.runs.append((record.algorithm, record.wall_time_s))
+
+    def total_seconds(self, algorithm: str | None = None) -> float:
+        """Summed wall time, optionally for one algorithm."""
+        return sum(t for name, t in self.runs
+                   if algorithm is None or name == algorithm)
+
+
+class IterationCounterSink(InstrumentationSink):
+    """Counts runs and pointing/matching iterations per algorithm."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, dict[str, int]] = {}
+
+    def on_run_end(self, record: "RunRecord") -> None:
+        c = self.counts.setdefault(record.algorithm,
+                                   {"runs": 0, "iterations": 0})
+        c["runs"] += 1
+        c["iterations"] += record.iterations
+
+
+class TraceSink(InstrumentationSink):
+    """Captures a :class:`~repro.gpusim.trace.Trace` from every
+    simulator-backed run (results without a timeline are skipped).
+
+    ``path`` writes each captured trace as chrome://tracing JSON — a
+    single run's CLI export (``repro-matching run --trace``) or, with a
+    ``{n}`` placeholder, one file per run.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self.traces: list[Any] = []
+        self.saved_paths: list[str] = []
+
+    def on_run_end(self, record: "RunRecord") -> None:
+        result = record.result
+        if result is None or result.timeline is None:
+            return
+        from repro.gpusim.trace import Trace
+
+        trace = Trace.from_result(result)
+        self.traces.append(trace)
+        if self.path is not None:
+            target = str(self.path).replace("{n}", str(len(self.traces)))
+            trace.save(target)
+            self.saved_paths.append(target)

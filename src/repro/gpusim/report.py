@@ -17,12 +17,22 @@ from repro.matching.types import MatchResult
 __all__ = ["profile_report", "iteration_rows"]
 
 
-def iteration_rows(result: MatchResult) -> list[list]:
+def _as_match_result(result) -> MatchResult:
+    """Unwrap an engine :class:`~repro.engine.record.RunRecord`."""
+    if isinstance(result, MatchResult):
+        return result
+    inner = getattr(result, "result", None)
+    return inner if inner is not None else result
+
+
+def iteration_rows(result) -> list[list]:
     """One row per iteration: times (ms) per component + work stats.
 
-    Requires a result produced with ``collect_stats=True`` and a
-    timeline (i.e. an ``ld_gpu`` / ``ld_multinode`` run).
+    Accepts a :class:`MatchResult` or an engine ``RunRecord``; requires
+    a run produced with ``collect_stats=True`` and a timeline (i.e. an
+    ``ld_gpu`` / ``ld_multinode`` run).
     """
+    result = _as_match_result(result)
     if result.timeline is None:
         raise ValueError("result carries no timeline — run ld_gpu with "
                          "a simulator-backed algorithm")
@@ -42,8 +52,10 @@ def iteration_rows(result: MatchResult) -> list[list]:
     return rows
 
 
-def profile_report(result: MatchResult) -> str:
-    """The full profiler table plus a summary footer."""
+def profile_report(result) -> str:
+    """The full profiler table plus a summary footer (accepts a
+    :class:`MatchResult` or an engine ``RunRecord``)."""
+    result = _as_match_result(result)
     rows = iteration_rows(result)
     headers = (
         ["iter"]

@@ -79,6 +79,25 @@ class Trace:
                 clock += dur
         return cls(events)
 
+    @classmethod
+    def from_result(cls, result) -> "Trace":
+        """Trace of a simulator-backed run.
+
+        Accepts a :class:`~repro.matching.types.MatchResult` or a
+        :class:`~repro.engine.record.RunRecord` (the engine's
+        ``TraceSink`` hook); raises ``ValueError`` when the run carries
+        no timeline.
+        """
+        timeline = getattr(result, "timeline", None)
+        if timeline is None and getattr(result, "result", None) is not None:
+            timeline = result.result.timeline
+        if timeline is None:
+            raise ValueError(
+                "run carries no timeline — only simulator-backed "
+                "algorithms produce traces"
+            )
+        return cls.from_timeline(timeline)
+
     @property
     def total_duration(self) -> float:
         """End time of the last event."""

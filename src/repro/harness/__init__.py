@@ -7,23 +7,38 @@ into it.  See DESIGN.md §4 for the experiment index.
 
 from repro.harness.datasets import (
     DATASETS,
+    PLATFORMS,
     DatasetSpec,
     load_dataset,
+    scaled_cpu,
+    scaled_platform,
     small_datasets,
     large_datasets,
     quality_instance,
 )
-from repro.harness.runners import run_algorithm, best_ld_gpu
+from repro.harness.runners import ALGORITHMS, run_algorithm, best_ld_gpu
+from repro.harness.sweep import (
+    TABLE1_BATCH_COUNTS,
+    TABLE1_DEVICE_COUNTS,
+    sweep_ld_gpu,
+)
 from repro.harness.report import format_table
 
 __all__ = [
     "DATASETS",
+    "PLATFORMS",
     "DatasetSpec",
     "load_dataset",
+    "scaled_cpu",
+    "scaled_platform",
     "small_datasets",
     "large_datasets",
     "quality_instance",
+    "ALGORITHMS",
     "run_algorithm",
     "best_ld_gpu",
+    "TABLE1_DEVICE_COUNTS",
+    "TABLE1_BATCH_COUNTS",
+    "sweep_ld_gpu",
     "format_table",
 ]

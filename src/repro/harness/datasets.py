@@ -30,11 +30,12 @@ from repro.graph.generators import (
     webcrawl_graph,
 )
 from repro.gpusim.spec import (CPU_EPYC_7742_2S, CpuSpec, DGX_2, DGX_A100,
-                              PlatformSpec)
+                              DGX_A100_PCIE, PlatformSpec)
 
 __all__ = [
     "DatasetSpec",
     "DATASETS",
+    "PLATFORMS",
     "load_dataset",
     "scale_factor",
     "scaled_platform",
@@ -260,5 +261,10 @@ def large_datasets() -> list[str]:
     return [s.name for s in DATASETS.values() if s.group == LARGE]
 
 
-#: Platforms of the paper, re-exported for harness callers.
-PLATFORMS = {"DGX-A100": DGX_A100, "DGX-2": DGX_2}
+#: Platforms of the paper, re-exported for harness callers (the CLI's
+#: ``--platform`` choices come from here).
+PLATFORMS: dict[str, PlatformSpec] = {
+    "DGX-A100": DGX_A100,
+    "DGX-2": DGX_2,
+    "DGX-A100-PCIe": DGX_A100_PCIE,
+}

@@ -18,6 +18,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.engine import RunContext, execute
 from repro.gpusim.memory import DeviceOOMError
 from repro.gpusim.spec import DGX_2, DGX_A100, DGX_A100_PCIE
 from repro.gpusim.timeline import COMPONENTS
@@ -27,15 +28,12 @@ from repro.harness.datasets import (
     load_dataset,
     quality_instance,
     scale_factor,
-    scaled_cpu,
-    scaled_platform,
     small_datasets,
 )
 from repro.harness.report import format_table
-from repro.harness.runners import best_ld_gpu, run_algorithm
+from repro.harness.runners import best_ld_gpu
+from repro.harness.sweep import TABLE1_BATCH_COUNTS, TABLE1_DEVICE_COUNTS
 from repro.matching.blossom import blossom_mwm
-from repro.matching.ld_gpu import ld_gpu
-from repro.matching.suitor import suitor_omp_sim
 from repro.metrics.fom import mmeps
 from repro.metrics.quality import geometric_mean, percent_below_optimal
 from repro.metrics.workstats import iterations_below_fraction
@@ -99,11 +97,12 @@ class ExperimentResult:
             json.dump(self.to_json(), fh, indent=1)
 
 
-# Reduced sweeps used when quick=True (test suite).
+# Reduced sweeps used when quick=True (test suite); the full grids are
+# the paper's Table I protocol (see repro.harness.sweep).
 _QUICK_DEVICES = (1, 2, 4)
 _QUICK_BATCHES = (None, 3)
-_FULL_DEVICES = (1, 2, 4, 6, 8)
-_FULL_BATCHES = (None, 2, 3, 5, 10, 14)
+_FULL_DEVICES = TABLE1_DEVICE_COUNTS
+_FULL_BATCHES = TABLE1_BATCH_COUNTS
 
 
 def _sweeps(quick: bool):
@@ -127,14 +126,13 @@ def table1_execution_times(quick: bool = False) -> ExperimentResult:
     rows = []
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
-        omp = run_algorithm("sr_omp", g, cpu=scaled_cpu(name))
+        ctx = RunContext.for_dataset(name)
+        omp = execute("sr_omp", g, ctx).result
         try:
-            srg = run_algorithm("sr_gpu", g, spec=plat.device)
-            sr_time: float | None = srg.sim_time
+            sr_time: float | None = execute("sr_gpu", g, ctx).sim_time
         except DeviceOOMError:
             sr_time = None
-        ld, nd, nb = best_ld_gpu(g, plat, device_counts=devices,
+        ld, nd, nb = best_ld_gpu(g, ctx.platform, device_counts=devices,
                                  batch_counts=batches)
         rows.append([
             name,
@@ -170,9 +168,9 @@ def table2_quality(quick: bool = False) -> ExperimentResult:
         t0 = time.perf_counter()
         opt = blossom_mwm(g)
         lemon_seconds[name] = time.perf_counter() - t0
-        ld = run_algorithm("ld_gpu", g, platform=DGX_A100, num_devices=1,
-                           collect_stats=False)
-        sr = run_algorithm("sr_omp", g)
+        ctx = RunContext(platform=DGX_A100, num_devices=1)
+        ld = execute("ld_gpu", g, ctx, collect_stats=False).result
+        sr = execute("sr_omp", g, ctx).result
         dl = percent_below_optimal(ld.weight, opt.weight)
         ds = percent_below_optimal(sr.weight, opt.weight)
         ld_diffs.append(dl)
@@ -203,10 +201,10 @@ def table3_a100_vs_v100(quick: bool = False) -> ExperimentResult:
     speedups = []
     for name in names:
         g = load_dataset(name)
-        a = ld_gpu(g, scaled_platform(name, DGX_A100), num_devices=1,
-                   collect_stats=False)
-        v = ld_gpu(g, scaled_platform(name, DGX_2), num_devices=1,
-                   collect_stats=False)
+        actx = RunContext.for_dataset(name, platform=DGX_A100)
+        vctx = RunContext.for_dataset(name, platform=DGX_2)
+        a = execute("ld_gpu", g, actx, collect_stats=False).result
+        v = execute("ld_gpu", g, vctx, collect_stats=False).result
         s = v.sim_time / a.sim_time
         speedups.append(s)
         rows.append([name, s])
@@ -233,11 +231,10 @@ def table4_single_gpu(quick: bool = False) -> ExperimentResult:
     rows = []
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
-        ld = ld_gpu(g, plat, num_devices=1, collect_stats=False)
+        ctx = RunContext.for_dataset(name)
+        ld = execute("ld_gpu", g, ctx, collect_stats=False).result
         try:
-            sr = run_algorithm("sr_gpu", g, spec=plat.device)
-            sr_t: float | None = sr.sim_time
+            sr_t: float | None = execute("sr_gpu", g, ctx).sim_time
         except DeviceOOMError:
             sr_t = None
         rows.append([name, ld.sim_time, sr_t])
@@ -262,10 +259,10 @@ def table5_cugraph(quick: bool = False) -> ExperimentResult:
     rows = []
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
-        ld = ld_gpu(g, plat, num_devices=4, num_batches=1,
-                    collect_stats=False)
-        cu = run_algorithm("cugraph", g, platform=plat, num_devices=4)
+        ctx = RunContext.for_dataset(name, num_devices=4)
+        ld = execute("ld_gpu", g, ctx.with_config(num_batches=1),
+                     collect_stats=False).result
+        cu = execute("cugraph", g, ctx).result
         rows.append([name, ld.sim_time, cu.sim_time,
                      cu.sim_time / ld.sim_time])
     return ExperimentResult(
@@ -296,11 +293,11 @@ def table6_fom(quick: bool = False) -> ExperimentResult:
     rows = []
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
+        ctx = RunContext.for_dataset(name)
         s = scale_factor(name)
-        ld, _, _ = best_ld_gpu(g, plat, device_counts=devices,
+        ld, _, _ = best_ld_gpu(g, ctx.platform, device_counts=devices,
                                batch_counts=batches)
-        omp = suitor_omp_sim(g, cpu=scaled_cpu(name))
+        omp = execute("sr_omp", g, ctx).result
         rows.append([name, mmeps(ld) / s, mmeps(omp) / s])
     return ExperimentResult(
         "table6",
@@ -322,14 +319,15 @@ def fig4_strong_scaling(quick: bool = False) -> ExperimentResult:
     series: dict[str, list[float]] = {}
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
+        ctx = RunContext.for_dataset(name)
         times = []
         for nd in devices:
             best = None
             for nb in batches:
                 try:
-                    r = ld_gpu(g, plat, num_devices=nd, num_batches=nb,
-                               collect_stats=False)
+                    cfg = ctx.with_config(num_devices=nd, num_batches=nb)
+                    r = execute("ld_gpu", g, cfg,
+                                collect_stats=False).result
                 except DeviceOOMError:
                     continue
                 if best is None or r.sim_time < best:
@@ -362,10 +360,11 @@ def fig5_components(quick: bool = False) -> ExperimentResult:
     rows = []
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
+        ctx = RunContext.for_dataset(name)
         for nd in devices:
             try:
-                r = ld_gpu(g, plat, num_devices=nd, collect_stats=False)
+                r = execute("ld_gpu", g, ctx.with_config(num_devices=nd),
+                            collect_stats=False).result
             except DeviceOOMError:
                 continue
             f = r.timeline.fractions()
@@ -392,12 +391,13 @@ def fig6_batch_scaling(quick: bool = False) -> ExperimentResult:
     rows = []
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
+        ctx = RunContext.for_dataset(name)
         for nb in batch_counts:
             times = []
             for nd in devices:
-                r = ld_gpu(g, plat, num_devices=nd, num_batches=nb,
-                           collect_stats=False, force_streaming=True)
+                cfg = ctx.with_config(num_devices=nd, num_batches=nb)
+                r = execute("ld_gpu", g, cfg, collect_stats=False,
+                            force_streaming=True).result
                 times.append(r.sim_time)
             rows.append([name, nb] + times)
     return ExperimentResult(
@@ -413,14 +413,15 @@ def fig6_batch_scaling(quick: bool = False) -> ExperimentResult:
 def fig7_kmer_components(quick: bool = False) -> ExperimentResult:
     """Fig. 7: kmer_U1a component breakdown under forced batching."""
     g = load_dataset("kmer_U1a")
-    plat = scaled_platform("kmer_U1a")
+    ctx = RunContext.for_dataset("kmer_U1a")
     devices = (1, 4) if quick else (1, 2, 4, 8)
     batch_counts = (1, 3) if quick else (1, 3, 5, 10)
     rows = []
     for nb in batch_counts:
         for nd in devices:
-            r = ld_gpu(g, plat, num_devices=nd, num_batches=nb,
-                       collect_stats=False, force_streaming=True)
+            cfg = ctx.with_config(num_devices=nd, num_batches=nb)
+            r = execute("ld_gpu", g, cfg, collect_stats=False,
+                        force_streaming=True).result
             f = r.timeline.fractions()
             rows.append([nb, nd] + [100.0 * f[c] for c in COMPONENTS])
     return ExperimentResult(
@@ -443,8 +444,8 @@ def fig8_warp_work(quick: bool = False) -> ExperimentResult:
     series = {}
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
-        r = ld_gpu(g, plat, num_devices=4)
+        ctx = RunContext.for_dataset(name, num_devices=4)
+        r = execute("ld_gpu", g, ctx).result
         frac = r.stats["edges_scanned"] / g.num_directed_edges
         series[name] = frac
         rows.append([
@@ -478,13 +479,17 @@ def fig9_interconnect(quick: bool = False) -> ExperimentResult:
     speedups = []
     for name in names:
         g = load_dataset(name)
+        nvctx = RunContext.for_dataset(name, platform=DGX_A100)
+        pcctx = RunContext.for_dataset(name, platform=DGX_A100_PCIE)
         row: list[Any] = [name]
         for nd in devices:
             try:
-                nv = ld_gpu(g, scaled_platform(name, DGX_A100),
-                            num_devices=nd, collect_stats=False)
-                pc = ld_gpu(g, scaled_platform(name, DGX_A100_PCIE),
-                            num_devices=nd, collect_stats=False)
+                nv = execute("ld_gpu", g,
+                             nvctx.with_config(num_devices=nd),
+                             collect_stats=False).result
+                pc = execute("ld_gpu", g,
+                             pcctx.with_config(num_devices=nd),
+                             collect_stats=False).result
             except DeviceOOMError:
                 row.append(None)
                 continue
@@ -517,10 +522,12 @@ def fig10_platforms(quick: bool = False) -> ExperimentResult:
     for name in names:
         g = load_dataset(name)
         for plat, devices in ((DGX_A100, a_devices), (DGX_2, v_devices)):
-            sp = scaled_platform(name, plat)
+            ctx = RunContext.for_dataset(name, platform=plat)
             for nd in devices:
                 try:
-                    r = ld_gpu(g, sp, num_devices=nd, collect_stats=False)
+                    r = execute("ld_gpu", g,
+                                ctx.with_config(num_devices=nd),
+                                collect_stats=False).result
                 except DeviceOOMError:
                     continue
                 cfg = r.stats["config"]
@@ -547,8 +554,7 @@ def fig11_occupancy(quick: bool = False) -> ExperimentResult:
     series = {}
     for name in names:
         g = load_dataset(name)
-        plat = scaled_platform(name)
-        r = ld_gpu(g, plat, num_devices=1)
+        r = execute("ld_gpu", g, RunContext.for_dataset(name)).result
         occ = r.stats["occupancy"]
         series[name] = occ
         half = occ[len(occ) // 2 :]

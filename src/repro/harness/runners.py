@@ -1,47 +1,44 @@
-"""Uniform adapters for running any algorithm on any dataset."""
+"""Uniform adapters for running any algorithm on any dataset.
+
+Dispatch is backed by the :mod:`repro.engine` registry: ``ALGORITHMS``
+is a live read-only view of the registered
+:class:`~repro.engine.spec.AlgorithmSpec` callables, so a newly
+registered algorithm shows up here (and in the CLI) with no edits.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Mapping
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from repro.engine.errors import ConfigurationDivergenceError
+from repro.engine.spec import algorithm_names, get_spec
 from repro.graph.csr import CSRGraph
 from repro.gpusim.memory import DeviceOOMError
 from repro.gpusim.spec import DGX_A100, PlatformSpec
-from repro.matching.auction import auction_matching
-from repro.matching.blossom import blossom_mwm
-from repro.matching.cugraph_sim import cugraph_mg_sim
-from repro.matching.greedy import greedy_matching
-from repro.matching.ld_gpu import ld_gpu
-from repro.matching.ld_seq import ld_seq
-from repro.matching.local_max import local_max
-from repro.matching.path_growing import path_growing_matching
-from repro.matching.augmenting import (
-    random_augmentation_matching,
-    two_thirds_matching,
-)
-from repro.matching.suitor import suitor_gpu_sim, suitor_omp_sim, suitor_seq
+from repro.harness.sweep import TABLE1_BATCH_COUNTS, TABLE1_DEVICE_COUNTS
 from repro.matching.types import MatchResult
 
 __all__ = ["ALGORITHMS", "run_algorithm", "best_ld_gpu"]
 
-#: Name → callable(graph, **kwargs) for every implemented algorithm.
-ALGORITHMS: dict[str, Callable[..., MatchResult]] = {
-    "ld_seq": ld_seq,
-    "ld_gpu": ld_gpu,
-    "sr_omp": suitor_omp_sim,
-    "sr_gpu": suitor_gpu_sim,
-    "suitor_seq": suitor_seq,
-    "greedy": greedy_matching,
-    "local_max": local_max,
-    "auction": auction_matching,
-    "blossom": blossom_mwm,
-    "cugraph": cugraph_mg_sim,
-    "path_growing": path_growing_matching,
-    "two_thirds": two_thirds_matching,
-    "pettie_sanders": random_augmentation_matching,
-}
+
+class _RegistryView(Mapping):
+    """Name → callable view over the engine registry (always current)."""
+
+    def __getitem__(self, name: str) -> Callable[..., MatchResult]:
+        return get_spec(name).fn
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(algorithm_names())
+
+    def __len__(self) -> int:
+        return len(algorithm_names())
+
+
+#: Name → callable(graph, **kwargs) for every registered algorithm.
+ALGORITHMS: Mapping[str, Callable[..., MatchResult]] = _RegistryView()
 
 
 def run_algorithm(name: str, graph: CSRGraph, **kwargs: Any) -> MatchResult:
@@ -51,29 +48,39 @@ def run_algorithm(name: str, graph: CSRGraph, **kwargs: Any) -> MatchResult:
     (e.g. :class:`DeviceOOMError`) propagate so callers can render the
     paper's '-' entries.
     """
-    if name not in ALGORITHMS:
-        raise KeyError(
-            f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}"
-        )
-    return ALGORITHMS[name](graph, **kwargs)
+    return get_spec(name).fn(graph, **kwargs)
 
 
 def best_ld_gpu(
     graph: CSRGraph,
     platform: PlatformSpec = DGX_A100,
-    device_counts: tuple[int, ...] = (1, 2, 4, 6, 8),
-    batch_counts: tuple[int | None, ...] = (None, 2, 3, 5, 10),
+    device_counts: tuple[int, ...] = TABLE1_DEVICE_COUNTS,
+    batch_counts: tuple[int | None, ...] = TABLE1_BATCH_COUNTS,
     collect_stats: bool = False,
 ) -> tuple[MatchResult, int, int]:
-    """The paper's reporting protocol for Table I: run LD-GPU over a sweep
-    of device and batch counts (batches < 15) and keep the fastest.
+    """The paper's reporting protocol for Table I: run LD-GPU over the
+    device grid :data:`~repro.harness.sweep.TABLE1_DEVICE_COUNTS` and the
+    batch grid :data:`~repro.harness.sweep.TABLE1_BATCH_COUNTS` (auto
+    plus every studied count below 15) and keep the fastest.
 
     Returns ``(result, num_devices, num_batches)`` of the winner.
     Configurations that cannot fit memory are skipped (they are the runs
     the paper could not perform either).
+
+    Raises
+    ------
+    ConfigurationDivergenceError
+        If any two configurations disagree on the mate array — LD
+        matching is configuration-independent (Lemma III.1), so a
+        divergence means broken code, not a slow run.
+    DeviceOOMError
+        If every configuration of the sweep runs out of device memory.
     """
+    from repro.matching.ld_gpu import ld_gpu
+
     best: tuple[MatchResult, int, int] | None = None
     mate_ref: np.ndarray | None = None
+    ref_config = ""
     for nd in device_counts:
         if nd > platform.max_devices:
             continue
@@ -83,11 +90,13 @@ def best_ld_gpu(
                            collect_stats=collect_stats)
             except DeviceOOMError:
                 continue
+            config = f"{nd} devices x {nb or 'auto'} batches"
             if mate_ref is None:
                 mate_ref = r.mate
-            else:
-                assert np.array_equal(mate_ref, r.mate), (
-                    "LD-GPU result depends on configuration — broken"
+                ref_config = config
+            elif not np.array_equal(mate_ref, r.mate):
+                raise ConfigurationDivergenceError(
+                    "ld_gpu", ref_config, config
                 )
             if best is None or r.sim_time < best[0].sim_time:
                 cfg = r.stats["config"]

@@ -17,7 +17,21 @@ from repro.graph.csr import CSRGraph
 from repro.harness.report import format_table
 from repro.matching.ld_gpu import ld_gpu
 
-__all__ = ["SweepPoint", "SweepResult", "sweep_ld_gpu"]
+__all__ = [
+    "TABLE1_DEVICE_COUNTS",
+    "TABLE1_BATCH_COUNTS",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_ld_gpu",
+]
+
+#: The paper's Table I reporting grid: device counts swept for the
+#: best-time protocol (``best_ld_gpu``) and by the full experiments.
+TABLE1_DEVICE_COUNTS: tuple[int, ...] = (1, 2, 4, 6, 8)
+
+#: Batch counts of the same protocol — auto-fit plus every studied
+#: count below 15 (the caption's "batches < 15").
+TABLE1_BATCH_COUNTS: tuple[int | None, ...] = (None, 2, 3, 5, 10, 14)
 
 
 @dataclass(frozen=True)
@@ -70,7 +84,7 @@ class SweepResult:
 def sweep_ld_gpu(
     graph: CSRGraph,
     platforms: Iterable[PlatformSpec] = (DGX_A100,),
-    device_counts: Iterable[int] = (1, 2, 4, 8),
+    device_counts: Iterable[int] = TABLE1_DEVICE_COUNTS,
     batch_counts: Iterable[int | None] = (None,),
     **ld_kwargs: Any,
 ) -> SweepResult:

@@ -1,34 +1,19 @@
 """Weighted matching algorithms.
 
 The paper's contribution (:func:`ld_gpu`) plus every algorithm it compares
-against:
+against, and extensions along its future-work axis (path growing, short
+augmentations, b-matching, dynamic maintenance).
 
-===================  =====================================================
-``ld_seq``           Algorithm 1 — pointer-based locally dominant matching
-``ld_gpu``           Algorithms 2–3 — multi-GPU batched LD matching (run on
-                     the :mod:`repro.gpusim` device simulator)
-``suitor_seq``       sequential Suitor (Manne & Halappanavar)
-``suitor_omp_sim``   round-synchronous Suitor with a multicore cost model
-                     (the paper's SR-OMP baseline)
-``suitor_gpu_sim``   single-device Suitor with vertex-per-warp balancing and
-                     a 32-bit representation (the paper's SR-GPU baseline)
-``greedy_matching``  global-sort greedy ½-approximation
-``local_max``        Birn et al. edge-centric locally dominant matching
-``auction_matching`` Fagginger Auer & Bisseling red-blue auction
-``blossom_mwm``      exact maximum weight matching (the LEMON baseline)
-``cugraph_mg_sim``   Manne–Bisseling over an MPI-style process-per-GPU
-                     communication model (the RAPIDS cuGraph baseline)
-===================  =====================================================
+Each algorithm registers an :class:`~repro.engine.spec.AlgorithmSpec`
+next to its implementation, declaring its parameter needs and capability
+tags — the single source of truth for dispatch.  Enumerate it with::
 
-Extensions beyond the paper's evaluation (its related/future work):
+    from repro.engine import algorithm_specs
+    for spec in algorithm_specs():
+        print(spec.name, spec.capability_tags, spec.summary)
 
-=============================  =======================================
-``path_growing_matching``      Drake–Hougardy path growing (ref. [14])
-``two_thirds_matching``        short-augmentation local search to the
-                               2/3-approximate fixed point
-``random_augmentation_...``    Pettie–Sanders randomised (2/3 − ε)
-``b_suitor``                   b-matching via b-Suitor
-=============================  =======================================
+or ``repro-matching list algorithms`` on the command line (the README's
+"Algorithm registry" table is the same listing).
 """
 
 from repro.matching.types import MatchResult

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.graph.csr import CSRGraph
 from repro.graph.segments import gather_rows, segment_argmax_lex
 from repro.matching.types import UNMATCHED, MatchResult
@@ -91,3 +92,12 @@ def auction_matching(
         iterations=iterations,
         stats={"seed": seed},
     )
+
+
+register(AlgorithmSpec(
+    name="auction",
+    fn=auction_matching,
+    summary="Fagginger Auer & Bisseling red-blue auction",
+    accepts_seed=True,
+    approx_ratio="1/2",
+))

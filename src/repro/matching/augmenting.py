@@ -25,6 +25,7 @@ import math
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.graph.csr import CSRGraph
 from repro.matching.ld_seq import ld_seq
 from repro.matching.types import UNMATCHED, MatchResult
@@ -205,3 +206,18 @@ def random_augmentation_matching(
         stats={"augmentations": augmentations, "epsilon": epsilon,
                "initial_weight": base.weight},
     )
+
+
+register(AlgorithmSpec(
+    name="two_thirds",
+    fn=two_thirds_matching,
+    summary="short-augmentation local search to the 2/3 fixed point",
+    approx_ratio="2/3",
+))
+register(AlgorithmSpec(
+    name="pettie_sanders",
+    fn=random_augmentation_matching,
+    summary="Pettie-Sanders randomised short augmentations",
+    accepts_seed=True,
+    approx_ratio="2/3-eps",
+))

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.graph.csr import CSRGraph
 from repro.matching.types import UNMATCHED, MatchResult
 from repro.matching.validate import matching_weight
@@ -558,3 +559,11 @@ def blossom_mwm(graph: CSRGraph, maxcardinality: bool = False,
         algorithm="blossom" + ("_maxcard" if maxcardinality else ""),
         iterations=0,
     )
+
+
+register(AlgorithmSpec(
+    name="blossom",
+    fn=blossom_mwm,
+    summary="exact maximum weight matching (LEMON stand-in)",
+    exact=True,
+))

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.comm.transfer import d2h_time, h2d_time
 from repro.gpusim.memory import DeviceOOMError
 from repro.gpusim.kernels import matching_kernel_cost, pointing_kernel_cost
@@ -138,3 +139,14 @@ def cugraph_mg_sim(
         timeline=timeline,
         stats={"num_devices": num_devices, "platform": platform.name},
     )
+
+
+register(AlgorithmSpec(
+    name="cugraph",
+    fn=cugraph_mg_sim,
+    summary="Manne-Bisseling LD over an MPI-style MG model (cuGraph)",
+    needs_platform=True,
+    needs_devices=True,
+    simulator_backed=True,
+    approx_ratio="1/2",
+))

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.graph.csr import CSRGraph
 from repro.matching.types import UNMATCHED, MatchResult
 
@@ -41,3 +42,11 @@ def greedy_matching(graph: CSRGraph) -> MatchResult:
         algorithm="greedy",
         iterations=0,
     )
+
+
+register(AlgorithmSpec(
+    name="greedy",
+    fn=greedy_matching,
+    summary="global-sort greedy",
+    approx_ratio="1/2",
+))

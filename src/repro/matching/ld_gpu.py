@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.comm.collectives import allreduce_max
 from repro.comm.transfer import h2d_time
 from repro.gpusim.device import SimDevice
@@ -422,3 +423,15 @@ def ld_gpu(
         timeline=timeline,
         stats=stats,
     )
+
+
+register(AlgorithmSpec(
+    name="ld_gpu",
+    fn=ld_gpu,
+    summary="Algorithms 2-3 — multi-GPU batched LD matching",
+    needs_platform=True,
+    needs_devices=True,
+    needs_batches=True,
+    simulator_backed=True,
+    approx_ratio="1/2",
+))

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.graph.csr import CSRGraph
 from repro.graph.segments import gather_rows, segment_argmax_lex
 from repro.matching.types import UNMATCHED, MatchResult
@@ -165,3 +166,11 @@ def ld_seq(
         iterations=iterations,
         stats=stats,
     )
+
+
+register(AlgorithmSpec(
+    name="ld_seq",
+    fn=ld_seq,
+    summary="Algorithm 1 — sequential locally dominant matching",
+    approx_ratio="1/2",
+))

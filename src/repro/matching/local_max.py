@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.graph.csr import CSRGraph
 from repro.graph.segments import row_ids, segment_max
 from repro.matching.types import UNMATCHED, MatchResult
@@ -70,3 +71,11 @@ def local_max(graph: CSRGraph,
         stats={"matches_per_round": np.asarray(rounds_edges,
                                                dtype=np.int64)},
     )
+
+
+register(AlgorithmSpec(
+    name="local_max",
+    fn=local_max,
+    summary="Birn et al. edge-centric LocalMax",
+    approx_ratio="1/2",
+))

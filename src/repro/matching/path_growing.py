@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.graph.csr import CSRGraph
 from repro.matching.types import UNMATCHED, MatchResult
 from repro.matching.validate import matching_weight
@@ -82,3 +83,11 @@ def path_growing_matching(graph: CSRGraph) -> MatchResult:
         iterations=0,
         stats={"path_matching_weights": (w1, w2)},
     )
+
+
+register(AlgorithmSpec(
+    name="path_growing",
+    fn=path_growing_matching,
+    summary="Drake-Hougardy path growing",
+    approx_ratio="1/2",
+))

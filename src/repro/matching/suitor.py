@@ -27,6 +27,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.engine.spec import AlgorithmSpec, register
 from repro.gpusim.kernels import pointing_kernel_cost
 from repro.gpusim.memory import DeviceOOMError
 from repro.gpusim.spec import A100, CPU_EPYC_7742_2S, CpuSpec, DeviceSpec
@@ -229,3 +230,27 @@ def suitor_gpu_sim(
         stats={"device": spec.name, "rounds": rounds,
                "representation_bytes": need},
     )
+
+
+register(AlgorithmSpec(
+    name="suitor_seq",
+    fn=suitor_seq,
+    summary="sequential Suitor (Manne & Halappanavar)",
+    approx_ratio="1/2",
+))
+register(AlgorithmSpec(
+    name="sr_omp",
+    fn=suitor_omp_sim,
+    summary="round-synchronous Suitor, multicore cost model (SR-OMP)",
+    needs_cpu=True,
+    simulator_backed=True,
+    approx_ratio="1/2",
+))
+register(AlgorithmSpec(
+    name="sr_gpu",
+    fn=suitor_gpu_sim,
+    summary="single-device 32-bit Suitor, vertex-per-warp (SR-GPU)",
+    needs_device_spec=True,
+    simulator_backed=True,
+    approx_ratio="1/2",
+))
