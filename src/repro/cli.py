@@ -1,17 +1,22 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     repro-matching run --algorithm ld_gpu --dataset GAP-kron --devices 4
     repro-matching sweep --dataset GAP-kron --devices 1 2 4 8
     repro-matching experiment table1 [--quick]
+    repro-matching stats record.json
     repro-matching list [datasets|algorithms|experiments]
 
 ``run`` executes one algorithm on one dataset analog through the
 :mod:`repro.engine` registry — any registered algorithm works with the
-same flags, and ``--json`` emits the machine-readable
-:class:`~repro.engine.record.RunRecord`; ``sweep`` runs LD-GPU over a
-configuration grid; ``experiment`` regenerates a paper table/figure.
+same flags, ``--json`` emits the machine-readable
+:class:`~repro.engine.record.RunRecord`, and ``--metrics-out PATH``
+exports the run's telemetry (Prometheus text for ``.prom``, a JSON
+metrics document with provenance otherwise); ``sweep`` runs LD-GPU over
+a configuration grid; ``experiment`` regenerates a paper table/figure;
+``stats`` prints the paper-claim metrics (communication fraction,
+edges-accessed fractions) of a stored RunRecord.
 """
 
 from __future__ import annotations
@@ -20,7 +25,13 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.engine import RunContext, TraceSink, algorithm_names, execute
+from repro.engine import (
+    MetricsSink,
+    RunContext,
+    TraceSink,
+    algorithm_names,
+    execute,
+)
 from repro.harness import experiments as exp
 from repro.harness.datasets import (
     DATASETS,
@@ -81,6 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
                            "(simulator-backed algorithms)")
     runp.add_argument("--trace", metavar="PATH", default=None,
                       help="write a chrome://tracing JSON of the run")
+    runp.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="export run telemetry; .prom writes "
+                           "Prometheus text, anything else a JSON "
+                           "metrics document with provenance")
+
+    statp = sub.add_parser(
+        "stats", help="print paper-claim metrics of a stored RunRecord"
+    )
+    statp.add_argument("record", metavar="RECORD_JSON",
+                       help="path to a RunRecord written by run --json")
+    statp.add_argument("--threshold", type=float, default=0.2,
+                       help="edges-accessed threshold for the Fig. 8 "
+                            "iteration fraction (default 0.2)")
 
     expp = sub.add_parser("experiment",
                           help="regenerate a paper table/figure")
@@ -110,16 +134,28 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args: argparse.Namespace) -> int:
     g = quality_instance(args.dataset) if args.quality \
         else load_dataset(args.dataset)
-    sinks = (TraceSink(path=args.trace),) if args.trace else ()
+    sinks: list = []
+    trace_sink = metrics_sink = None
+    if args.trace:
+        trace_sink = TraceSink(path=args.trace)
+        sinks.append(trace_sink)
+    if args.metrics_out:
+        metrics_sink = MetricsSink()
+        sinks.append(metrics_sink)
     ctx = RunContext.for_dataset(
         args.dataset,
         graph=g,
         num_devices=args.devices,
         num_batches=args.batches,
         seed=args.seed,
-        sinks=sinks,
+        sinks=tuple(sinks),
     )
     record = execute(args.algorithm, g, ctx)
+    if metrics_sink is not None:
+        from repro.telemetry import write_metrics
+
+        fmt = write_metrics(args.metrics_out,
+                            metrics_sink.last_snapshot, record)
     if args.json:
         print(record.to_json(indent=1))
         return 0
@@ -136,8 +172,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
             rows = [[k, 100.0 * v] for k, v in frac.items() if v > 0]
             print(format_table(["component", "% time"], rows,
                                floatfmt=".1f"))
-    if args.trace and sinks[0].saved_paths:
-        print(f"trace written to {sinks[0].saved_paths[0]}")
+    if trace_sink is not None and trace_sink.saved_paths:
+        print(f"trace written to {trace_sink.saved_paths[0]}")
+    if metrics_sink is not None:
+        print(f"metrics ({fmt}) written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Paper-claim metrics of a stored RunRecord (``run --json`` output)."""
+    from repro.engine import RunRecord
+    from repro.gpusim.timeline import COMPONENTS
+    from repro.metrics.workstats import (
+        edges_accessed_fraction,
+        iterations_below_fraction,
+    )
+
+    with open(args.record, "rt") as fh:
+        record = RunRecord.from_json(fh.read())
+    print(f"{record.algorithm} on {record.graph}"
+          f" ({record.num_vertices} vertices, "
+          f"{record.num_directed_edges} directed edges)")
+    if record.provenance:
+        prov = record.provenance
+        bits = [f"{k}={prov[k]}" for k in
+                ("git", "python", "numpy", "seed",
+                 "dataset_fingerprint") if prov.get(k) is not None]
+        print("provenance: " + ", ".join(bits))
+
+    totals = record.timeline_totals
+    if totals:
+        t = sum(totals.values())
+        comm = sum(totals.get(c, 0.0) for c in COMPONENTS
+                   if c not in ("pointing", "matching"))
+        rows = [[c, 1e3 * totals[c], 100.0 * totals[c] / t if t else 0.0]
+                for c in COMPONENTS if c in totals]
+        print(format_table(["component", "time (ms)", "% time"], rows,
+                           floatfmt=".3f"))
+        print(f"communication fraction: "
+              f"{100.0 * comm / t if t else 0.0:.1f}% "
+              f"(paper: ~90% for multi-GPU runs)")
+    else:
+        print("no timeline — not a simulator-backed run")
+
+    scanned = record.extra.get("edges_scanned")
+    if scanned and record.num_directed_edges:
+        import numpy as np
+
+        frac = edges_accessed_fraction(np.asarray(scanned),
+                                       record.num_directed_edges)
+        below = iterations_below_fraction(
+            np.asarray(scanned), record.num_directed_edges,
+            args.threshold)
+        print(f"edges accessed per iteration: "
+              f"min {100.0 * frac.min():.1f}%, "
+              f"median {100.0 * float(np.median(frac)):.1f}%, "
+              f"max {100.0 * frac.max():.1f}%")
+        print(f"iterations touching <{100.0 * args.threshold:.0f}% of "
+              f"edges: {100.0 * below:.1f}% "
+              f"(paper: ~90% of iterations under 20%)")
+    else:
+        print("no edges_scanned series — run with collect_stats "
+              "(the default) to record Fig. 8 statistics")
     return 0
 
 
@@ -197,6 +293,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "list":
         return _cmd_list(args)
     return 1  # pragma: no cover - argparse enforces the choices

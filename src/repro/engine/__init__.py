@@ -48,6 +48,7 @@ from repro.engine.executor import execute
 from repro.engine.sinks import (
     InstrumentationSink,
     IterationCounterSink,
+    MetricsSink,
     TraceSink,
     WallClockSink,
 )
@@ -69,4 +70,5 @@ __all__ = [
     "WallClockSink",
     "IterationCounterSink",
     "TraceSink",
+    "MetricsSink",
 ]

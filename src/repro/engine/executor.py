@@ -58,8 +58,33 @@ def execute(
         sink.on_run_start(spec, graph, ctx)
 
     t0 = time.perf_counter()
-    result = spec.fn(graph, **kwargs)
+    try:
+        result = spec.fn(graph, **kwargs)
+    except BaseException as exc:
+        for sink in ctx.sinks:
+            sink.on_run_error(spec, graph, ctx, exc)
+        raise
     wall = time.perf_counter() - t0
+
+    from repro.telemetry.provenance import build_manifest
+
+    manifest = build_manifest(
+        graph=graph,
+        seed=kwargs.get("seed"),
+        dataset=ctx.dataset,
+        sim_platform=ctx.resolved_platform().name
+        if (spec.needs_platform or spec.needs_device_spec) else None,
+        wall_time_s=wall,
+        sim_time_s=float(result.sim_time)
+        if result.sim_time is not None else None,
+    )
+    # Paper-claim series ride along in ``extra`` so a stored record is
+    # enough for ``repro-matching stats`` (Fig. 8's edges-accessed
+    # fractions need the per-iteration scan counts).
+    extra: dict[str, Any] = {}
+    scanned = result.stats.get("edges_scanned")
+    if scanned is not None:
+        extra["edges_scanned"] = _coerce(scanned)
 
     record = RunRecord(
         algorithm=spec.name,
@@ -82,7 +107,8 @@ def execute(
         capability_tags=spec.capability_tags,
         timeline_totals=_coerce(result.timeline.totals)
         if result.timeline is not None else None,
-        extra={},
+        provenance=manifest,
+        extra=extra,
         result=result,
     )
 

@@ -17,7 +17,11 @@ from typing import Any
 __all__ = ["RunRecord", "SCHEMA_VERSION"]
 
 #: Bump when the serialised field set changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: adds the ``provenance`` manifest (git/python/numpy versions,
+#: host platform, dataset fingerprint, wall+sim durations) — see
+#: :mod:`repro.telemetry.provenance`.  v1 documents still load
+#: (``provenance`` comes back ``None``).
+SCHEMA_VERSION = 2
 
 
 def _coerce(v: Any) -> Any:
@@ -60,6 +64,9 @@ class RunRecord:
     seed: int | None = None
     capability_tags: tuple[str, ...] = ()
     timeline_totals: dict[str, float] | None = None
+    #: Self-description manifest (:func:`repro.telemetry.provenance.
+    #: build_manifest`) — code/env versions, dataset fingerprint, seed.
+    provenance: dict[str, Any] | None = None
     extra: dict[str, Any] = field(default_factory=dict)
     #: The producing MatchResult — in-process only, never serialised.
     result: Any = field(default=None, compare=False, repr=False)

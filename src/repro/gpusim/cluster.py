@@ -15,7 +15,7 @@ from dataclasses import dataclass, replace
 from repro.comm.topology import INFINIBAND_HDR, Interconnect
 from repro.gpusim.spec import DGX_A100, PlatformSpec
 
-__all__ = ["ClusterSpec", "DGX_A100_SUPERPOD"]
+__all__ = ["ClusterSpec", "DGX_A100_SUPERPOD", "emit_cluster_shape"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,27 @@ class ClusterSpec:
             node=self.node.scaled(factor),
             inter_node=self.inter_node.scaled(bandwidth_factor=factor),
         )
+
+
+def emit_cluster_shape(cluster: ClusterSpec, num_nodes: int,
+                       devices_per_node: int) -> None:
+    """Record the cluster slice a run executes on as telemetry gauges
+    (no-op without an active metrics registry) — the provenance half of
+    multi-node runs' metrics documents."""
+    from repro.telemetry.spans import active_registry
+
+    reg = active_registry()
+    if reg is None:
+        return
+    labels = {"cluster": cluster.name}
+    reg.gauge("repro_cluster_nodes",
+              "Nodes used of the simulated cluster.", **labels
+              ).set(num_nodes)
+    reg.gauge("repro_cluster_devices_per_node",
+              "GPUs used per node.", **labels).set(devices_per_node)
+    reg.gauge("repro_cluster_total_devices",
+              "Total GPUs across the cluster slice.", **labels
+              ).set(num_nodes * devices_per_node)
 
 
 #: A slice of an A100 SuperPOD: four DGX-A100 nodes over HDR InfiniBand.

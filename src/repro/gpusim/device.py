@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.gpusim.memory import MemoryPool
 from repro.gpusim.spec import DeviceSpec
+from repro.telemetry.spans import count, emit_event
 
 __all__ = ["SimDevice"]
 
@@ -29,6 +30,11 @@ class SimDevice:
         self.bytes_h2d = 0
         self.bytes_d2h = 0
         self._arrays: dict[str, np.ndarray] = {}
+
+    @property
+    def label(self) -> str:
+        """Stable metrics label for this device instance."""
+        return f"{self.spec.name}#{self.device_id}"
 
     # -------------------------------------------------------------- #
     def alloc_array(self, name: str, shape, dtype) -> np.ndarray:
@@ -60,16 +66,26 @@ class SimDevice:
 
     # -------------------------------------------------------------- #
     def record_kernel(self) -> None:
-        """Bump the launch counter (diagnostics only)."""
+        """Bump the launch counter (and the telemetry counter when a
+        registry is active)."""
         self.kernels_launched += 1
+        emit_event("repro_kernel_launches_total",
+                   "Simulated kernel launches per device.",
+                   device=self.label)
 
     def record_h2d(self, nbytes: int) -> None:
         """Account host→device traffic."""
         self.bytes_h2d += int(nbytes)
+        count("repro_device_bytes_total", int(nbytes),
+              "Simulated device traffic in bytes.",
+              device=self.label, direction="h2d")
 
     def record_d2h(self, nbytes: int) -> None:
         """Account device→host traffic."""
         self.bytes_d2h += int(nbytes)
+        count("repro_device_bytes_total", int(nbytes),
+              "Simulated device traffic in bytes.",
+              device=self.label, direction="d2h")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

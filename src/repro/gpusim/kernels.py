@@ -24,6 +24,7 @@ from repro.gpusim.occupancy import (
     warp_work_distribution,
 )
 from repro.gpusim.spec import DeviceSpec
+from repro.telemetry.spans import observe
 
 __all__ = [
     "KernelProfile",
@@ -84,7 +85,11 @@ def pointing_kernel_cost(
     # well would double-penalise small frontiers.
     bw_bound = total_bytes / spec.mem_bandwidth_bps
     straggler_bound = max_warp_bytes / (spec.warp_throughput_gbs * 1e9)
-    return KernelProfile(launch + max(bw_bound, straggler_bound), occ, stats)
+    seconds = launch + max(bw_bound, straggler_bound)
+    observe("repro_kernel_seconds", seconds,
+            "Modeled per-launch kernel durations.",
+            device=spec.name, kernel="pointing")
+    return KernelProfile(seconds, occ, stats)
 
 
 def matching_kernel_cost(spec: DeviceSpec, num_vertices: int) -> KernelProfile:
@@ -104,6 +109,9 @@ def matching_kernel_cost(spec: DeviceSpec, num_vertices: int) -> KernelProfile:
     bytes_per_vertex = 8 + 8 * spec.gather_penalty + 8
     total_bytes = num_vertices * bytes_per_vertex
     seconds = launch + total_bytes / spec.mem_bandwidth_bps
+    observe("repro_kernel_seconds", seconds,
+            "Modeled per-launch kernel durations.",
+            device=spec.name, kernel="matching")
     stats = WarpWorkStats(
         num_warps=num_warps,
         total_work=num_vertices,

@@ -40,14 +40,23 @@ def iteration_rows(result) -> list[list]:
     scanned = result.stats.get("edges_scanned")
     occ = result.stats.get("occupancy")
     matches = result.stats.get("new_matches")
+
+    def stat(series, it):
+        """Series value for iteration ``it``, None when the series is
+        absent or shorter than the timeline (e.g. a merged timeline or
+        a stats-free rerun)."""
+        return series[it] if series is not None and it < len(series) \
+            else None
+
     rows = []
     for it, rec in enumerate(records):
         row: list = [it]
         row.extend(1e3 * rec[c] for c in COMPONENTS)
         row.append(1e3 * sum(rec.values()))
-        row.append(int(scanned[it]) if scanned is not None else None)
-        row.append(100.0 * float(occ[it]) if occ is not None else None)
-        row.append(int(matches[it]) if matches is not None else None)
+        s, o, m = stat(scanned, it), stat(occ, it), stat(matches, it)
+        row.append(int(s) if s is not None else None)
+        row.append(100.0 * float(o) if o is not None else None)
+        row.append(int(m) if m is not None else None)
         rows.append(row)
     return rows
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.telemetry.spans import count, observe
+
 __all__ = ["dual_buffer_schedule", "PipelineResult"]
 
 
@@ -66,4 +68,8 @@ def dual_buffer_schedule(
     makespan = comp_done[-1]
     compute_time = sum(compute_times)
     exposed = max(0.0, makespan - compute_time)
+    count("repro_pipeline_batches_total", nb,
+          "Batches resolved through the dual-buffer pipeline.")
+    observe("repro_exposed_transfer_seconds", exposed,
+            "Per-pipeline transfer seconds not hidden behind compute.")
     return PipelineResult(makespan, compute_time, exposed)

@@ -99,10 +99,22 @@ class Timeline:
         )
 
     def merged_with(self, other: "Timeline") -> "Timeline":
-        """Componentwise sum of two ledgers (ignores iteration records)."""
+        """Componentwise sum of two ledgers.
+
+        Per-iteration records are concatenated (``self``'s first) — the
+        natural reading for sequential phases merged into one ledger —
+        so the merged ``iterations`` stay consistent with ``totals``
+        instead of being silently dropped.  Merging with an iteration
+        open on either side is an error.
+        """
+        if self._current is not None or other._current is not None:
+            raise RuntimeError("cannot merge timelines with an open "
+                               "iteration")
         out = Timeline()
         for c in COMPONENTS:
             out.totals[c] = self.totals[c] + other.totals[c]
+        out.iterations = [dict(rec) for rec in self.iterations] + \
+            [dict(rec) for rec in other.iterations]
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -28,13 +28,21 @@ _LANES = {
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One complete ('X' phase) event."""
+    """One complete ('X' phase) event.
+
+    ``lane`` is the accounting category (compute vs communication —
+    what :meth:`Trace.lane_totals` sums); ``track`` is the display row
+    (Chrome/Perfetto ``tid``).  They coincide except for batch
+    transfers, which render on their own track so the dual-buffer
+    overlap with the pointing kernel is visible.
+    """
 
     name: str
     lane: str
     start_s: float
     duration_s: float
     iteration: int
+    track: str | None = None
 
     def to_chrome(self) -> dict:
         """Chrome-trace JSON object (timestamps in microseconds)."""
@@ -45,7 +53,7 @@ class TraceEvent:
             "ts": self.start_s * 1e6,
             "dur": self.duration_s * 1e6,
             "pid": 0,
-            "tid": self.lane,
+            "tid": self.track if self.track is not None else self.lane,
             "args": {"iteration": self.iteration},
         }
 
@@ -62,15 +70,32 @@ class Trace:
 
         Components within an iteration are serialised in the order LD-GPU
         executes them (pointing → allreduce(pointers) → matching →
-        allreduce(mate) → sync), with batch transfers overlapping the
-        pointing lane conceptually but serialised here for readability.
+        allreduce(mate) → sync).  Batch transfers are *not* serialised
+        onto the compute clock: they render on their own
+        ``batch_transfer`` track starting with the pointing kernel —
+        overlapping timestamps, exactly the §IV-C dual-buffer pipeline —
+        while the exposed-transfer residual still extends the pointing
+        phase (the next component starts at ``pointing +
+        batch_transfer``), so the trace ends at ``timeline.total`` and
+        :meth:`lane_totals` keeps its accounting semantics unchanged.
         """
-        order = ("batch_transfer", "pointing", "allreduce_pointers",
-                 "matching", "allreduce_mate", "sync")
+        serial = ("allreduce_pointers", "matching", "allreduce_mate",
+                  "sync")
         clock = 0.0
         events: list[TraceEvent] = []
         for it, rec in enumerate(timeline.iterations):
-            for comp in order:
+            bt = rec.get("batch_transfer", 0.0)
+            if bt > 0.0:
+                events.append(TraceEvent(
+                    "batch_transfer", _LANES["batch_transfer"], clock,
+                    bt, it, track="batch_transfer",
+                ))
+            pt = rec.get("pointing", 0.0)
+            if pt > 0.0:
+                events.append(TraceEvent("pointing", _LANES["pointing"],
+                                         clock, pt, it))
+            clock += pt + bt  # phase makespan = compute + exposed copy
+            for comp in serial:
                 dur = rec.get(comp, 0.0)
                 if dur <= 0.0:
                     continue
@@ -100,11 +125,11 @@ class Trace:
 
     @property
     def total_duration(self) -> float:
-        """End time of the last event."""
+        """Latest event end time (tracks may overlap, so not simply the
+        last-appended event)."""
         if not self.events:
             return 0.0
-        last = self.events[-1]
-        return last.start_s + last.duration_s
+        return max(e.start_s + e.duration_s for e in self.events)
 
     def lane_totals(self) -> dict[str, float]:
         """Seconds per lane (compute vs communication)."""

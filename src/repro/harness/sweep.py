@@ -52,10 +52,18 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All points of a sweep plus the winner."""
+    """All points of a sweep plus the winner.
+
+    With ``collect_metrics=True`` each cell's telemetry snapshot lands
+    in ``cell_snapshots`` (aligned with ``points``) and ``metrics``
+    holds the sweep-level aggregate — histograms (span durations,
+    kernel costs) merged across every cell of the grid.
+    """
 
     graph_name: str
     points: list[SweepPoint] = field(default_factory=list)
+    cell_snapshots: list[Any] = field(default_factory=list)
+    metrics: Any | None = None
 
     @property
     def best(self) -> SweepPoint:
@@ -86,23 +94,41 @@ def sweep_ld_gpu(
     platforms: Iterable[PlatformSpec] = (DGX_A100,),
     device_counts: Iterable[int] = TABLE1_DEVICE_COUNTS,
     batch_counts: Iterable[int | None] = (None,),
+    collect_metrics: bool = False,
     **ld_kwargs: Any,
 ) -> SweepResult:
     """Run LD-GPU over the configuration grid.
 
     OOM configurations become points with ``time_s=None`` (rendered '-'),
-    mirroring how the paper reports infeasible runs.
+    mirroring how the paper reports infeasible runs.  With
+    ``collect_metrics=True`` every cell runs under a fresh
+    :class:`~repro.telemetry.MetricsRegistry`; per-cell snapshots and
+    the cross-cell aggregate land on the returned
+    :class:`SweepResult` (see :attr:`SweepResult.metrics`).
     """
+    from contextlib import nullcontext
+
     result = SweepResult(graph.name)
     for plat in platforms:
         for nd in device_counts:
             if nd > plat.max_devices:
                 continue
             for nb in batch_counts:
+                if collect_metrics:
+                    from repro.telemetry import (
+                        MetricsRegistry,
+                        record_into,
+                    )
+
+                    registry = MetricsRegistry()
+                    scope = record_into(registry)
+                else:
+                    registry, scope = None, nullcontext()
                 try:
-                    r = ld_gpu(graph, plat, num_devices=nd,
-                               num_batches=nb, collect_stats=False,
-                               **ld_kwargs)
+                    with scope:
+                        r = ld_gpu(graph, plat, num_devices=nd,
+                                   num_batches=nb, collect_stats=False,
+                                   **ld_kwargs)
                     cfg = r.stats["config"]
                     result.points.append(SweepPoint(
                         plat.name, nd, cfg.num_batches, r.sim_time,
@@ -113,4 +139,10 @@ def sweep_ld_gpu(
                     result.points.append(SweepPoint(
                         plat.name, nd, nb, None, None, None,
                     ))
+                if registry is not None:
+                    result.cell_snapshots.append(registry.snapshot())
+    if collect_metrics:
+        from repro.telemetry import aggregate_snapshots
+
+        result.metrics = aggregate_snapshots(result.cell_snapshots)
     return result

@@ -50,6 +50,7 @@ from repro.partition.vertex import (
     edge_balanced_partition,
     vertex_balanced_partition,
 )
+from repro.telemetry.spans import SpanEmitter, observe
 from repro.graph.csr import CSRGraph
 
 __all__ = ["ld_gpu", "LdGpuRun"]
@@ -247,6 +248,10 @@ def ld_gpu(
 
     eids = graph.canonical_edge_ids()
     timeline = Timeline()
+    # Component spans feed the timeline AND (when a metrics registry is
+    # active, e.g. under the engine's MetricsSink) the telemetry
+    # registry — from the same floats, so exports reconcile exactly.
+    tel = SpanEmitter(timeline, algorithm="ld_gpu", device=spec.name)
     # Host-side merged views (what every device holds after allreduce).
     pointers_g = parts[0].pointers
     mate_g = parts[0].mate
@@ -301,6 +306,15 @@ def ld_gpu(
                         t_load = 0.0
                     load_times.append(t_load)
                     p.device.record_h2d(nbytes)
+                    observe(
+                        "repro_batch_load_seconds",
+                        t_load,
+                        "Chargeable per-batch H2D load seconds "
+                        "(iteration-0 placement loads excluded).",
+                        algorithm="ld_gpu",
+                        device=f"{spec.name}#{p.device.device_id}",
+                        batch=b,
+                    )
                 prof = pointing_kernel_cost(
                     spec, degrees[sel], vertices_per_warp
                 )
@@ -325,8 +339,8 @@ def ld_gpu(
             computes.append(pipe.compute_time)
         t_point = max(makespans) if makespans else 0.0
         t_comp = max(computes) if computes else 0.0
-        timeline.add("pointing", t_comp)
-        timeline.add("batch_transfer", max(0.0, t_point - t_comp))
+        tel.emit("pointing", t_comp)
+        tel.emit("batch_transfer", max(0.0, t_point - t_comp))
 
         # ---------------- allreduce(pointers) -------------------------- #
         # Each device contributes only its owned vertex range; everything
@@ -337,7 +351,7 @@ def ld_gpu(
             p.pointers[: p.start] = UNMATCHED
             p.pointers[p.stop :] = UNMATCHED
         t = allreduce([p.pointers for p in parts])
-        timeline.add("allreduce_pointers", t)
+        tel.emit("allreduce_pointers", t)
         pointers_g = parts[0].pointers  # all equal after allreduce
 
         # ---------------- matching phase ------------------------------- #
@@ -356,14 +370,14 @@ def ld_gpu(
             prof = matching_kernel_cost(spec, p.num_vertices)
             match_times.append(prof.seconds)
             p.device.record_kernel()
-        timeline.add("matching", max(match_times) if match_times else 0.0)
+        tel.emit("matching", max(match_times) if match_times else 0.0)
 
         # ---------------- allreduce(mate) + sync ----------------------- #
         t = allreduce([p.mate for p in parts])
-        timeline.add("allreduce_mate", t)
+        tel.emit("allreduce_mate", t)
         mate_g = parts[0].mate
         sync_batches = max(0, nb - 2)
-        timeline.add(
+        tel.emit(
             "sync",
             (_SYNCS_PER_ITERATION + sync_batches)
             * spec.kernel_launch_us * 1e-6

@@ -18,10 +18,15 @@ hierarchical collective provides).
 from __future__ import annotations
 
 from repro.comm.collectives import hierarchical_allreduce_max
-from repro.gpusim.cluster import DGX_A100_SUPERPOD, ClusterSpec
+from repro.gpusim.cluster import (
+    DGX_A100_SUPERPOD,
+    ClusterSpec,
+    emit_cluster_shape,
+)
 from repro.graph.csr import CSRGraph
 from repro.matching.ld_gpu import ld_gpu
 from repro.matching.types import MatchResult
+from repro.telemetry.spans import observe
 
 __all__ = ["ld_multinode"]
 
@@ -57,11 +62,19 @@ def ld_multinode(
             f"num_nodes must be in [1, {cluster.num_nodes}]"
         )
     platform = cluster.flat_platform(dpn)
+    emit_cluster_shape(cluster, nodes, dpn)
 
     def allreduce(buffers):
-        return hierarchical_allreduce_max(
+        t = hierarchical_allreduce_max(
             buffers, dpn, cluster.node.gpu_link, cluster.inter_node
         )
+        # Separate from the component spans ld_gpu emits (those already
+        # charge allreduce_* time) — this is the collective-level
+        # distribution of the tree-of-rings itself.
+        observe("repro_allreduce_seconds", t,
+                "Per-call hierarchical allreduce durations.",
+                scope="hierarchical", cluster=cluster.name)
+        return t
 
     result = ld_gpu(
         graph,

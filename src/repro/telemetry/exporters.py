@@ -1,0 +1,297 @@
+"""Metric exporters — Prometheus text exposition and JSON documents.
+
+Two formats cover the two consumption paths the ROADMAP cares about:
+
+* ``.prom`` — the Prometheus text exposition format (HELP/TYPE lines,
+  escaped labels, cumulative histogram buckets with the implicit ``+Inf``
+  terminal), scrapeable or pushable into any existing dashboard stack;
+* ``.json`` — a structured metrics document carrying the full snapshot,
+  the run's provenance manifest, and a reconciliation block tying the
+  exported component totals back to the producing
+  :class:`~repro.gpusim.timeline.Timeline`.
+
+:func:`write_metrics` infers the format from the path suffix — the CLI's
+``--metrics-out`` contract.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Any
+
+from repro.telemetry.registry import MetricsSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.record import RunRecord
+
+__all__ = [
+    "to_prometheus",
+    "to_json_document",
+    "write_metrics",
+    "validate_prometheus_text",
+    "METRICS_DOCUMENT_SCHEMA",
+]
+
+#: Bump when the JSON metrics document layout changes incompatibly.
+METRICS_DOCUMENT_SCHEMA = 1
+
+
+def _escape_label_value(value: str) -> str:
+    """Backslash, quote and newline escaping per the exposition format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt_value(v: float) -> str:
+    """Prometheus number formatting (integers without trailing .0)."""
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    f = float(v)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _label_str(labels: dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"'
+             for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """The snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, fam in snapshot.families.items():
+        if fam["help"]:
+            lines.append(f"# HELP {name} {_escape_help(fam['help'])}")
+        lines.append(f"# TYPE {name} {fam['type']}")
+        for s in fam["samples"]:
+            labels = s["labels"]
+            if fam["type"] == "histogram":
+                for bound, count in s["buckets"]:
+                    le = _label_str(labels,
+                                    f'le="{_fmt_value(bound)}"')
+                    lines.append(f"{name}_bucket{le} {count}")
+                inf = _label_str(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{inf} {s['count']}")
+                ls = _label_str(labels)
+                lines.append(f"{name}_sum{ls} {_fmt_value(s['sum'])}")
+                lines.append(f"{name}_count{ls} {s['count']}")
+            else:
+                ls = _label_str(labels)
+                lines.append(f"{name}{ls} {_fmt_value(s['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Structural validation of an exposition document.
+
+    Checks HELP/TYPE ordering, sample-line shape, known types, and that
+    every histogram's cumulative buckets are monotone and terminated by
+    ``+Inf`` matching ``_count``.  Returns the number of sample lines;
+    raises ``ValueError`` with a line reference on the first violation.
+    Used by the tests and the CI smoke step.
+    """
+    import re
+
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? "
+        r"([0-9eE+.\-]+|[+-]Inf|NaN)$"
+    )
+    typed: dict[str, str] = {}
+    current: str | None = None
+    hist: dict[str, Any] = {}
+    samples = 0
+
+    def close_histogram() -> None:
+        if not hist:
+            return
+        for key, info in hist.items():
+            counts = info["bucket_counts"]
+            if not counts or counts[-1][0] != math.inf:
+                raise ValueError(
+                    f"histogram series {key} lacks a +Inf bucket"
+                )
+            bounds = [b for b, _ in counts]
+            if bounds != sorted(bounds):
+                raise ValueError(
+                    f"histogram series {key} buckets out of order"
+                )
+            values = [c for _, c in counts]
+            if any(v2 < v1 for v1, v2 in zip(values, values[1:])):
+                raise ValueError(
+                    f"histogram series {key} bucket counts not monotone"
+                )
+            if info["count"] is None or values[-1] != info["count"]:
+                raise ValueError(
+                    f"histogram series {key}: +Inf bucket != _count"
+                )
+        hist.clear()
+
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {i}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                mtype = parts[3] if len(parts) > 3 else ""
+                if mtype not in ("counter", "gauge", "histogram",
+                                 "summary", "untyped"):
+                    raise ValueError(
+                        f"line {i}: unknown metric type in {line!r}"
+                    )
+                close_histogram()
+                current = parts[2]
+                typed[current] = mtype
+            continue
+        if line.startswith("#"):
+            continue
+        m = sample_re.match(line)
+        if m is None:
+            raise ValueError(f"line {i}: malformed sample {line!r}")
+        name, labelstr, value = m.groups()
+        samples += 1
+        base = current
+        if base and typed.get(base) == "histogram":
+            if name not in (f"{base}_bucket", f"{base}_sum",
+                            f"{base}_count"):
+                raise ValueError(
+                    f"line {i}: unexpected series {name!r} under "
+                    f"histogram {base!r}"
+                )
+            labels = _parse_labels(labelstr or "{}", i)
+            key = base + _label_str(
+                {k: v for k, v in labels.items() if k != "le"}
+            )
+            info = hist.setdefault(key, {"bucket_counts": [],
+                                         "count": None})
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    raise ValueError(f"line {i}: bucket without le=")
+                bound = math.inf if le == "+Inf" else float(le)
+                info["bucket_counts"].append((bound, float(value)))
+            elif name.endswith("_count"):
+                info["count"] = float(value)
+        elif base is not None and name != base:
+            raise ValueError(
+                f"line {i}: sample {name!r} does not match preceding "
+                f"TYPE {base!r}"
+            )
+        if labelstr:
+            _parse_labels(labelstr, i)
+    close_histogram()
+    if samples == 0:
+        raise ValueError("document contains no samples")
+    return samples
+
+
+def _parse_labels(labelstr: str, lineno: int) -> dict[str, str]:
+    """Parse ``{k="v",...}`` with escape handling; raises on malformed."""
+    import re
+
+    if not (labelstr.startswith("{") and labelstr.endswith("}")):
+        raise ValueError(f"line {lineno}: malformed labels {labelstr!r}")
+    body = labelstr[1:-1]
+    if not body:
+        return {}
+    pair_re = re.compile(
+        r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)'
+    )
+    out: dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        m = pair_re.match(body, pos)
+        if m is None:
+            raise ValueError(
+                f"line {lineno}: malformed label pair at {body[pos:]!r}"
+            )
+        raw = m.group(2)
+        out[m.group(1)] = (raw.replace("\\n", "\n")
+                           .replace('\\"', '"').replace("\\\\", "\\"))
+        pos = m.end()
+    return out
+
+
+def to_json_document(
+    snapshot: MetricsSnapshot,
+    record: "RunRecord | None" = None,
+) -> dict[str, Any]:
+    """The structured JSON metrics document.
+
+    ``record`` (when given) contributes the provenance manifest and the
+    reconciliation block: exported per-component totals next to the
+    run's ``Timeline.totals`` with their absolute differences, plus the
+    ``communication_fraction`` both ways.  A document whose
+    ``reconciliation.max_abs_diff`` is ~0 is internally consistent.
+    """
+    doc: dict[str, Any] = {
+        "schema": METRICS_DOCUMENT_SCHEMA,
+        "metrics": snapshot.to_dict(),
+    }
+    if record is None:
+        return doc
+    doc["run"] = {
+        "algorithm": record.algorithm,
+        "graph": record.graph,
+        "dataset": record.dataset,
+        "num_devices": record.num_devices,
+        "num_batches": record.num_batches,
+        "iterations": record.iterations,
+        "wall_time_s": record.wall_time_s,
+        "sim_time_s": record.sim_time,
+    }
+    doc["provenance"] = record.provenance
+    totals = record.timeline_totals
+    if totals is not None:
+        exported = {
+            c: snapshot.total("repro_component_seconds_total",
+                              component=c)
+            for c in totals
+        }
+        diffs = {c: abs(exported[c] - totals[c]) for c in totals}
+        t = sum(totals.values())
+        comm = sum(totals[c] for c in ("allreduce_pointers",
+                                       "allreduce_mate",
+                                       "batch_transfer", "sync")
+                   if c in totals)
+        doc["reconciliation"] = {
+            "timeline_totals": dict(totals),
+            "exported_totals": exported,
+            "max_abs_diff": max(diffs.values()) if diffs else 0.0,
+            "communication_fraction_timeline": comm / t if t else 0.0,
+            "communication_fraction_metric": snapshot.total(
+                "repro_communication_fraction"),
+        }
+    return doc
+
+
+def write_metrics(
+    path: str,
+    snapshot: MetricsSnapshot,
+    record: "RunRecord | None" = None,
+) -> str:
+    """Write ``snapshot`` to ``path``, format inferred from the suffix.
+
+    ``.prom``/``.txt`` → Prometheus text; ``.json`` (and anything else)
+    → the JSON document.  Returns the format written.
+    """
+    path = str(path)
+    if path.endswith((".prom", ".txt")):
+        with open(path, "wt") as fh:
+            fh.write(to_prometheus(snapshot))
+        return "prometheus"
+    with open(path, "wt") as fh:
+        json.dump(to_json_document(snapshot, record), fh, indent=1)
+    return "json"

@@ -1,0 +1,150 @@
+"""Span/event emission — how instrumented code reaches the registry.
+
+Library code never holds a registry: it emits through the *active*
+registry, a :mod:`contextvars` slot that a :class:`~repro.engine.sinks.
+MetricsSink` (or any caller using :func:`record_into`) activates around a
+run.  With no registry active every emission is a cheap no-op, so the
+simulator's hot loops pay nothing when nobody is watching.
+
+Two kinds of events exist:
+
+* **modeled spans** — :meth:`SpanEmitter.emit` records a simulated
+  duration for one of the paper's timeline components, feeding the
+  owning :class:`~repro.gpusim.timeline.Timeline` *and* the registry
+  from the same float, so exported component totals reconcile with
+  ``Timeline.totals`` exactly;
+* **wall-clock spans** — :func:`span` measures real elapsed time around
+  a block (the engine's measured side).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.timeline import Timeline
+
+__all__ = [
+    "active_registry",
+    "record_into",
+    "emit_event",
+    "observe",
+    "count",
+    "span",
+    "SpanEmitter",
+]
+
+_ACTIVE: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_metrics_registry", default=None
+)
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The registry emissions currently land in (``None`` = disabled)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def record_into(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Activate ``registry`` for the dynamic extent of the block."""
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
+def emit_event(name: str, help: str = "", **labels: Any) -> None:
+    """Count one occurrence of ``name`` (no-op without an active
+    registry)."""
+    reg = _ACTIVE.get()
+    if reg is not None:
+        reg.counter(name, help, **labels).inc()
+
+
+def count(name: str, amount: float, help: str = "",
+          **labels: Any) -> None:
+    """Add ``amount`` to counter ``name`` (no-op when disabled)."""
+    reg = _ACTIVE.get()
+    if reg is not None:
+        reg.counter(name, help, **labels).inc(amount)
+
+
+def observe(name: str, value: float, help: str = "",
+            buckets: Any = None, **labels: Any) -> None:
+    """Observe ``value`` into histogram ``name`` (no-op when disabled)."""
+    reg = _ACTIVE.get()
+    if reg is not None:
+        if buckets is None:
+            reg.histogram(name, help, **labels).observe(value)
+        else:
+            reg.histogram(name, help, buckets=buckets,
+                          **labels).observe(value)
+
+
+@contextmanager
+def span(name: str, help: str = "", **labels: Any) -> Iterator[None]:
+    """Wall-clock span: observe elapsed seconds into
+    ``repro_wall_span_seconds{span=name}``."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        observe("repro_wall_span_seconds", time.perf_counter() - t0,
+                "Measured wall-clock span durations.", span=name,
+                **labels)
+
+
+class SpanEmitter:
+    """Bound emitter for a simulator-backed run.
+
+    Couples a :class:`~repro.gpusim.timeline.Timeline` with a fixed label
+    set (``algorithm``, ``device``) so the iteration loop writes one call
+    per component::
+
+        tel = SpanEmitter(timeline, algorithm="ld_gpu", device=spec.name)
+        tel.emit("pointing", t_comp)
+
+    Each ``emit`` charges the timeline (preserving every existing report)
+    and, when a registry is active, the span metrics:
+
+    * ``repro_component_seconds_total`` — counter; accumulated in the
+      same order as ``Timeline.add``, so the per-component totals agree
+      bit-for-bit;
+    * ``repro_span_seconds`` — histogram of individual span durations;
+    * ``repro_spans_total`` — span count.
+    """
+
+    def __init__(self, timeline: "Timeline | None" = None,
+                 **labels: Any) -> None:
+        self.timeline = timeline
+        self.labels = {k: str(v) for k, v in labels.items()}
+
+    def emit(self, component: str, seconds: float,
+             **extra_labels: Any) -> None:
+        """Record a modeled span of ``seconds`` for ``component``."""
+        if self.timeline is not None:
+            self.timeline.add(component, seconds)
+        reg = _ACTIVE.get()
+        if reg is None:
+            return
+        labels = {**self.labels, **extra_labels, "component": component}
+        reg.counter(
+            "repro_component_seconds_total",
+            "Modeled seconds accumulated per timeline component.",
+            **labels,
+        ).inc(seconds)
+        reg.histogram(
+            "repro_span_seconds",
+            "Distribution of individual modeled span durations.",
+            **labels,
+        ).observe(seconds)
+        reg.counter(
+            "repro_spans_total", "Number of modeled spans emitted.",
+            **labels,
+        ).inc()
