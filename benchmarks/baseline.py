@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate the committed bench baselines.
+
+Run from the repository root after an *intentional* cost-model or
+algorithm change shifts the modeled times::
+
+    PYTHONPATH=src python benchmarks/baseline.py [suite ...]
+
+Writes ``benchmarks/baseline_<suite>.json`` for each suite (default:
+every suite).  The CI ``bench-smoke`` job compares fresh
+``repro-matching bench`` output against these files and fails on any
+slowdown beyond tolerance — regenerating the baseline is how a
+deliberate change is signed off, and the diff shows exactly which
+workloads moved.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.harness.bench import SUITES, run_bench, write_bench_report
+
+
+def main(argv: list[str]) -> int:
+    suites = argv or sorted(SUITES)
+    out_dir = Path(__file__).resolve().parent
+    for suite in suites:
+        report = run_bench(suite, repeats=3)
+        path = write_bench_report(report,
+                                  out_dir / f"baseline_{suite}.json")
+        print(f"wrote {path}")
+        for w in report["workloads"]:
+            t = w["median_sim_time_s"]
+            print(f"  {w['name']:<16} {w['status']:<6} "
+                  f"{t if t is not None else '-'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,27 +1,37 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro-matching run --algorithm ld_gpu --dataset GAP-kron --devices 4
-    repro-matching sweep --dataset GAP-kron --devices 1 2 4 8
-    repro-matching experiment table1 [--quick]
+    repro-matching sweep --dataset GAP-kron --devices 1 2 4 8 --parallel 4
+    repro-matching bench --suite smoke --baseline benchmarks/baseline_smoke.json
+    repro-matching experiment table1 [--quick] [--parallel N]
     repro-matching stats record.json
     repro-matching list [datasets|algorithms|experiments]
 
+``run``/``sweep``/``bench``/``stats`` share one parent parser, so the
+common flags — ``--platform``, ``--devices/-n``, ``--batches/-b``,
+``--seed``, ``--json``, ``--metrics-out`` — spell and behave the same
+everywhere they apply (a flag that cannot apply to a subcommand is a
+usage error, not silently ignored).  Exit codes are uniform: **0**
+success, **1** runtime failure or benchmark regression, **2** usage
+error (argparse's own convention).
+
 ``run`` executes one algorithm on one dataset analog through the
-:mod:`repro.engine` registry — any registered algorithm works with the
-same flags, ``--json`` emits the machine-readable
-:class:`~repro.engine.record.RunRecord`, and ``--metrics-out PATH``
-exports the run's telemetry (Prometheus text for ``.prom``, a JSON
-metrics document with provenance otherwise); ``sweep`` runs LD-GPU over
-a configuration grid; ``experiment`` regenerates a paper table/figure;
-``stats`` prints the paper-claim metrics (communication fraction,
-edges-accessed fractions) of a stored RunRecord.
+:mod:`repro.engine` registry; ``sweep`` maps an LD-GPU configuration
+grid through :func:`~repro.engine.cells.run_cells` (``--parallel N``
+fans it out over worker processes, bit-identical to serial);
+``bench`` runs a fixed workload suite, writes ``BENCH_<suite>.json``
+and gates against a committed baseline; ``experiment`` regenerates a
+paper table/figure; ``stats`` prints the paper-claim metrics of a
+stored RunRecord; ``list algorithms`` includes each algorithm's
+capability tags (``parallel-safe``/``serial-only`` among them).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -41,7 +51,12 @@ from repro.harness.datasets import (
 )
 from repro.harness.report import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_OK", "EXIT_FAILURE",
+           "EXIT_USAGE"]
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
 
 EXPERIMENTS: dict[str, Callable[..., "exp.ExperimentResult"]] = {
     "table1": exp.table1_execution_times,
@@ -63,6 +78,33 @@ EXPERIMENTS: dict[str, Callable[..., "exp.ExperimentResult"]] = {
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
+    # One parent for every execution-facing subcommand: same spelling,
+    # same help, same defaults.  Subcommands that cannot honour a flag
+    # reject it explicitly in their handler (exit 2), never ignore it.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--platform", choices=sorted(PLATFORMS),
+                        default=None,
+                        help="simulated platform (default: the "
+                             "dataset's bandwidth-scaled DGX-A100)")
+    common.add_argument("--devices", "-n", type=int, nargs="+",
+                        default=None, metavar="N",
+                        help="simulated GPU count(s); run takes one, "
+                             "sweep a grid")
+    common.add_argument("--batches", "-b", type=int, nargs="+",
+                        default=None, metavar="B",
+                        help="batches per device (default auto); run "
+                             "takes one, sweep a grid")
+    common.add_argument("--seed", type=int, default=None,
+                        help="base RNG seed for randomised algorithms "
+                             "(grids derive per-cell seeds from it)")
+    common.add_argument("--json", action="store_true",
+                        help="machine-readable JSON instead of the "
+                             "human-readable rendering")
+    common.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="export telemetry; .prom writes Prometheus "
+                             "text, anything else a JSON metrics "
+                             "document")
+
     p = argparse.ArgumentParser(
         prog="repro-matching",
         description="Multi-GPU locally dominant weighted matching "
@@ -70,35 +112,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    runp = sub.add_parser("run", help="run one algorithm on one dataset")
+    runp = sub.add_parser("run", parents=[common],
+                          help="run one algorithm on one dataset")
     runp.add_argument("--algorithm", "-a", required=True,
                       choices=algorithm_names())
     runp.add_argument("--dataset", "-d", required=True,
                       choices=sorted(DATASETS))
-    runp.add_argument("--devices", "-n", type=int, default=1,
-                      help="simulated GPUs (multi-GPU algorithms)")
-    runp.add_argument("--batches", "-b", type=int, default=None,
-                      help="batches per device (ld_gpu; default auto)")
-    runp.add_argument("--seed", type=int, default=None,
-                      help="RNG seed forwarded to randomised algorithms")
     runp.add_argument("--quality", action="store_true",
                       help="run on the dataset's tiny blossom-tractable "
                            "quality instance instead of the full analog")
-    runp.add_argument("--json", action="store_true",
-                      help="print the structured RunRecord as JSON "
-                           "instead of the human-readable summary")
     runp.add_argument("--profile", action="store_true",
                       help="print the per-iteration profiler table "
                            "(simulator-backed algorithms)")
     runp.add_argument("--trace", metavar="PATH", default=None,
                       help="write a chrome://tracing JSON of the run")
-    runp.add_argument("--metrics-out", metavar="PATH", default=None,
-                      help="export run telemetry; .prom writes "
-                           "Prometheus text, anything else a JSON "
-                           "metrics document with provenance")
+
+    sweepp = sub.add_parser(
+        "sweep", parents=[common],
+        help="sweep LD-GPU over device/batch configurations",
+    )
+    sweepp.add_argument("--dataset", "-d", required=True,
+                        choices=sorted(DATASETS))
+    sweepp.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="fan the grid out to N worker processes "
+                             "(bit-identical to serial)")
+
+    benchp = sub.add_parser(
+        "bench", parents=[common],
+        help="run a benchmark suite and gate against a baseline",
+    )
+    from repro.harness.bench import SUITES
+
+    benchp.add_argument("--suite", choices=sorted(SUITES),
+                        default="smoke")
+    benchp.add_argument("--repeats", type=int, default=3,
+                        help="runs per workload; medians are reported")
+    benchp.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="worker processes for the workload grid")
+    benchp.add_argument("--out", metavar="PATH", default=None,
+                        help="report path (default BENCH_<suite>.json "
+                             "in the current directory)")
+    benchp.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline report to gate against (default "
+                             "benchmarks/baseline_<suite>.json when "
+                             "present)")
+    benchp.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative slowdown allowed before the gate "
+                             "fails (default 0.05)")
 
     statp = sub.add_parser(
-        "stats", help="print paper-claim metrics of a stored RunRecord"
+        "stats", parents=[common],
+        help="print paper-claim metrics of a stored RunRecord",
     )
     statp.add_argument("record", metavar="RECORD_JSON",
                        help="path to a RunRecord written by run --json")
@@ -111,19 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     expp.add_argument("name", choices=sorted(EXPERIMENTS))
     expp.add_argument("--quick", action="store_true",
                       help="reduced sweep (seconds instead of minutes)")
-
-    sweepp = sub.add_parser(
-        "sweep", help="sweep LD-GPU over device/batch configurations"
-    )
-    sweepp.add_argument("--dataset", "-d", required=True,
-                        choices=sorted(DATASETS))
-    sweepp.add_argument("--devices", "-n", type=int, nargs="+",
-                        default=[1, 2, 4, 8])
-    sweepp.add_argument("--batches", "-b", type=int, nargs="+",
-                        default=None,
-                        help="batch counts (default: auto only)")
-    sweepp.add_argument("--platform", choices=sorted(PLATFORMS),
-                        default="DGX-A100")
+    expp.add_argument("--parallel", type=int, default=0, metavar="N",
+                      help="worker processes for grid-shaped "
+                           "experiments (ignored by the others)")
+    expp.add_argument("--json", action="store_true",
+                      help="print the table as a JSON document")
 
     listp = sub.add_parser("list", help="list registered entities")
     listp.add_argument("what", choices=["datasets", "algorithms",
@@ -131,7 +187,34 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _reject_flags(parser: argparse.ArgumentParser,
+                  args: argparse.Namespace, command: str,
+                  **flags: str) -> None:
+    """Exit 2 for shared flags a subcommand cannot honour.
+
+    ``flags`` maps attribute name -> rendered flag; a non-default value
+    is a usage error, not something to ignore silently.
+    """
+    for attr, flag in flags.items():
+        if getattr(args, attr) not in (None, False):
+            parser.error(f"{flag} does not apply to '{command}'")
+
+
+def _single(parser: argparse.ArgumentParser, values: list | None,
+            flag: str, default: int | None) -> int | None:
+    """The one value 'run' accepts for a grid-capable shared flag."""
+    if values is None:
+        return default
+    if len(values) != 1:
+        parser.error(f"'run' takes a single {flag} value "
+                     f"(got {len(values)}); use 'sweep' for grids")
+    return values[0]
+
+
+def _cmd_run(parser: argparse.ArgumentParser,
+             args: argparse.Namespace) -> int:
+    devices = _single(parser, args.devices, "--devices", 1)
+    batches = _single(parser, args.batches, "--batches", None)
     g = quality_instance(args.dataset) if args.quality \
         else load_dataset(args.dataset)
     sinks: list = []
@@ -142,14 +225,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.metrics_out:
         metrics_sink = MetricsSink()
         sinks.append(metrics_sink)
-    ctx = RunContext.for_dataset(
-        args.dataset,
+    ctx_kwargs = dict(
         graph=g,
-        num_devices=args.devices,
-        num_batches=args.batches,
+        num_devices=devices,
+        num_batches=batches,
         seed=args.seed,
         sinks=tuple(sinks),
     )
+    if args.platform is not None:
+        ctx_kwargs["platform"] = PLATFORMS[args.platform]
+    ctx = RunContext.for_dataset(args.dataset, **ctx_kwargs)
     record = execute(args.algorithm, g, ctx)
     if metrics_sink is not None:
         from repro.telemetry import write_metrics
@@ -158,7 +243,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                             metrics_sink.last_snapshot, record)
     if args.json:
         print(record.to_json(indent=1))
-        return 0
+        return EXIT_OK
     result = record.result
     print(f"{g!r}")
     print(result.summary())
@@ -176,11 +261,120 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"trace written to {trace_sink.saved_paths[0]}")
     if metrics_sink is not None:
         print(f"metrics ({fmt}) written to {args.metrics_out}")
-    return 0
+    return EXIT_OK
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    """Paper-claim metrics of a stored RunRecord (``run --json`` output)."""
+def _cmd_sweep(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    from repro.harness.sweep import sweep_ld_gpu
+
+    platform = PLATFORMS[args.platform or "DGX-A100"]
+    g = load_dataset(args.dataset)
+    devices = tuple(args.devices) if args.devices else (1, 2, 4, 8)
+    batches = tuple(args.batches) if args.batches else (None,)
+    result = sweep_ld_gpu(
+        g, platforms=(platform,), device_counts=devices,
+        batch_counts=batches, parallel=args.parallel,
+        collect_metrics=args.metrics_out is not None,
+        seed=args.seed,
+    )
+    if args.metrics_out:
+        from repro.telemetry import write_metrics
+
+        fmt = write_metrics(args.metrics_out, result.metrics)
+    if args.json:
+        doc = {
+            "graph": result.graph_name,
+            "points": [vars(p).copy() for p in result.points],
+            "records": [r.to_dict() for r in result.records],
+        }
+        ok = [p for p in result.points if p.ok]
+        doc["best"] = vars(result.best).copy() if ok else None
+        print(json.dumps(doc, indent=1))
+        return EXIT_OK
+    print(result.render())
+    errors = [r for r in result.records if not r.ok]
+    for r in errors:
+        if r.error["type"] != "DeviceOOMError":
+            print(f"cell error [{r.num_devices} GPUs x "
+                  f"{r.num_batches or 'auto'} batches]: "
+                  f"{r.error['type']}: {r.error['message']}")
+    ok = [p for p in result.points if p.ok]
+    if not ok:
+        print("\nno configuration fit device memory")
+        return EXIT_FAILURE
+    best = result.best
+    print(f"\nbest: {best.num_devices} GPUs x "
+          f"{best.num_batches} batches -> {best.time_s:.4f}s")
+    if args.metrics_out:
+        print(f"metrics ({fmt}) written to {args.metrics_out}")
+    return EXIT_OK
+
+
+def _cmd_bench(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    _reject_flags(parser, args, "bench", platform="--platform",
+                  devices="--devices", batches="--batches",
+                  seed="--seed", metrics_out="--metrics-out")
+    from repro.harness.bench import (
+        bench_report_path,
+        compare_reports,
+        run_bench,
+        validate_bench_report,
+        write_bench_report,
+    )
+
+    report = run_bench(args.suite, repeats=args.repeats,
+                       parallel=args.parallel)
+    out = args.out or bench_report_path(args.suite)
+    write_bench_report(report, out)
+    if args.json:
+        print(json.dumps(report, indent=1))
+    else:
+        rows = [[w["name"], w["algorithm"], w["dataset"], w["status"],
+                 w["median_sim_time_s"], w["median_wall_time_s"]]
+                for w in report["workloads"]]
+        print(format_table(
+            ["workload", "algorithm", "dataset", "status",
+             "median sim (s)", "median wall (s)"],
+            rows, floatfmt=".3g",
+            title=f"bench suite '{args.suite}' x{args.repeats}",
+        ))
+        print(f"report written to {out}")
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = f"benchmarks/baseline_{args.suite}.json"
+        import os
+
+        baseline_path = default if os.path.isfile(default) else None
+    if baseline_path is None:
+        print("no baseline to compare against "
+              "(--baseline to provide one)")
+        return EXIT_OK
+    with open(baseline_path, "rt") as fh:
+        baseline = json.load(fh)
+    validate_bench_report(baseline)
+    problems = compare_reports(report, baseline,
+                               tolerance=args.tolerance)
+    if problems:
+        print(f"\nREGRESSION vs {baseline_path}:")
+        for line in problems:
+            print(f"  {line}")
+        return EXIT_FAILURE
+    print(f"within {100 * args.tolerance:.1f}% of {baseline_path}")
+    return EXIT_OK
+
+
+def _cmd_stats(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    """Paper-claim metrics of a stored RunRecord (``run --json``
+    output)."""
+    _reject_flags(parser, args, "stats", platform="--platform",
+                  devices="--devices", batches="--batches",
+                  seed="--seed", metrics_out="--metrics-out")
+    import numpy as np
+
     from repro.engine import RunRecord
     from repro.gpusim.timeline import COMPONENTS
     from repro.metrics.workstats import (
@@ -190,6 +384,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     with open(args.record, "rt") as fh:
         record = RunRecord.from_json(fh.read())
+
+    doc: dict = {"algorithm": record.algorithm, "graph": record.graph,
+                 "status": record.status}
+    totals = record.timeline_totals
+    if totals:
+        t = sum(totals.values())
+        comm = sum(totals.get(c, 0.0) for c in COMPONENTS
+                   if c not in ("pointing", "matching"))
+        doc["communication_fraction"] = comm / t if t else 0.0
+    scanned = record.extra.get("edges_scanned")
+    if scanned and record.num_directed_edges:
+        frac = edges_accessed_fraction(np.asarray(scanned),
+                                       record.num_directed_edges)
+        doc["edges_accessed"] = {
+            "min": float(frac.min()),
+            "median": float(np.median(frac)),
+            "max": float(frac.max()),
+            "iterations_below_threshold": iterations_below_fraction(
+                np.asarray(scanned), record.num_directed_edges,
+                args.threshold),
+            "threshold": args.threshold,
+        }
+    if args.json:
+        print(json.dumps(doc, indent=1))
+        return EXIT_OK
+
     print(f"{record.algorithm} on {record.graph}"
           f" ({record.num_vertices} vertices, "
           f"{record.num_directed_edges} directed edges)")
@@ -200,67 +420,51 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                  "dataset_fingerprint") if prov.get(k) is not None]
         print("provenance: " + ", ".join(bits))
 
-    totals = record.timeline_totals
     if totals:
         t = sum(totals.values())
-        comm = sum(totals.get(c, 0.0) for c in COMPONENTS
-                   if c not in ("pointing", "matching"))
         rows = [[c, 1e3 * totals[c], 100.0 * totals[c] / t if t else 0.0]
                 for c in COMPONENTS if c in totals]
         print(format_table(["component", "time (ms)", "% time"], rows,
                            floatfmt=".3f"))
         print(f"communication fraction: "
-              f"{100.0 * comm / t if t else 0.0:.1f}% "
+              f"{100.0 * doc['communication_fraction']:.1f}% "
               f"(paper: ~90% for multi-GPU runs)")
     else:
         print("no timeline — not a simulator-backed run")
 
-    scanned = record.extra.get("edges_scanned")
-    if scanned and record.num_directed_edges:
-        import numpy as np
-
-        frac = edges_accessed_fraction(np.asarray(scanned),
-                                       record.num_directed_edges)
-        below = iterations_below_fraction(
-            np.asarray(scanned), record.num_directed_edges,
-            args.threshold)
+    if "edges_accessed" in doc:
+        ea = doc["edges_accessed"]
         print(f"edges accessed per iteration: "
-              f"min {100.0 * frac.min():.1f}%, "
-              f"median {100.0 * float(np.median(frac)):.1f}%, "
-              f"max {100.0 * frac.max():.1f}%")
+              f"min {100.0 * ea['min']:.1f}%, "
+              f"median {100.0 * ea['median']:.1f}%, "
+              f"max {100.0 * ea['max']:.1f}%")
         print(f"iterations touching <{100.0 * args.threshold:.0f}% of "
-              f"edges: {100.0 * below:.1f}% "
+              f"edges: {100.0 * ea['iterations_below_threshold']:.1f}% "
               f"(paper: ~90% of iterations under 20%)")
     else:
         print("no edges_scanned series — run with collect_stats "
               "(the default) to record Fig. 8 statistics")
-    return 0
+    return EXIT_OK
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.harness.sweep import sweep_ld_gpu
+def _cmd_experiment(parser: argparse.ArgumentParser,
+                    args: argparse.Namespace) -> int:
+    import inspect
 
-    ctx = RunContext.for_dataset(args.dataset,
-                                 platform=PLATFORMS[args.platform])
-    g = load_dataset(args.dataset)
-    batches = tuple(args.batches) if args.batches else (None,)
-    result = sweep_ld_gpu(g, platforms=(ctx.platform,),
-                          device_counts=tuple(args.devices),
-                          batch_counts=batches)
-    print(result.render())
-    best = result.best
-    print(f"\nbest: {best.num_devices} GPUs x "
-          f"{best.num_batches} batches -> {best.time_s:.4f}s")
-    return 0
-
-
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = EXPERIMENTS[args.name](quick=args.quick)
-    print(result.render())
-    return 0
+    fn = EXPERIMENTS[args.name]
+    kwargs = {"quick": args.quick}
+    if "parallel" in inspect.signature(fn).parameters:
+        kwargs["parallel"] = args.parallel
+    result = fn(**kwargs)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=1))
+    else:
+        print(result.render())
+    return EXIT_OK
 
 
-def _cmd_list(args: argparse.Namespace) -> int:
+def _cmd_list(parser: argparse.ArgumentParser,
+              args: argparse.Namespace) -> int:
     if args.what == "datasets":
         rows = [
             [s.name, s.group, s.paper_vertices, s.paper_edges, s.notes]
@@ -281,23 +485,25 @@ def _cmd_list(args: argparse.Namespace) -> int:
     else:
         for name in sorted(EXPERIMENTS):
             print(name)
-    return 0
+    return EXIT_OK
+
+
+_COMMANDS: dict[str, Callable[[argparse.ArgumentParser,
+                               argparse.Namespace], int]] = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
+    "stats": _cmd_stats,
+    "experiment": _cmd_experiment,
+    "list": _cmd_list,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-matching`` console script."""
-    args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "stats":
-        return _cmd_stats(args)
-    if args.command == "list":
-        return _cmd_list(args)
-    return 1  # pragma: no cover - argparse enforces the choices
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](parser, args)
 
 
 if __name__ == "__main__":

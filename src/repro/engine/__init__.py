@@ -14,6 +14,10 @@ graph" to "a uniform structured result":
   runs, notifies sinks, and returns a :class:`RunRecord`.
 * :class:`RunRecord` — the JSON-serialisable outcome (the CLI's
   ``--json`` output and the harness's machine-readable results).
+* :class:`Cell` / :func:`run_cells` — grids of runs as data: every
+  sweep, experiment and benchmark maps ``execute`` over a cell list,
+  serially or process-parallel (``parallel=N``), with per-cell failure
+  isolation and deterministic per-cell seeds.
 
 Example::
 
@@ -45,6 +49,12 @@ from repro.engine.spec import (
 from repro.engine.context import RunContext
 from repro.engine.record import RunRecord, SCHEMA_VERSION
 from repro.engine.executor import execute
+from repro.engine.cells import (
+    Cell,
+    derive_cell_seed,
+    error_record,
+    run_cells,
+)
 from repro.engine.sinks import (
     InstrumentationSink,
     IterationCounterSink,
@@ -59,6 +69,10 @@ __all__ = [
     "RunRecord",
     "SCHEMA_VERSION",
     "execute",
+    "Cell",
+    "run_cells",
+    "derive_cell_seed",
+    "error_record",
     "register",
     "get_spec",
     "algorithm_names",

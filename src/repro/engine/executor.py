@@ -9,6 +9,7 @@ instrumentation sinks and returns a uniform
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import TYPE_CHECKING, Any
 
@@ -23,13 +24,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["execute"]
 
 
+def _normalise_config(result: "MatchResult") -> dict[str, Any] | None:
+    """Force ``result.stats["config"]`` to a plain dict.
+
+    Algorithms attach their configuration echo in whatever shape is
+    natural to them — ``ld_gpu`` a dataclass, others a dict.  The engine
+    boundary flattens that to one JSON-safe shape so every
+    :class:`RunRecord` round-trips identically regardless of which of
+    the registered algorithms produced it.
+    """
+    cfg = result.stats.get("config")
+    if cfg is None:
+        return None
+    if dataclasses.is_dataclass(cfg) and not isinstance(cfg, type):
+        cfg = dataclasses.asdict(cfg)
+    cfg = _coerce(cfg)
+    result.stats["config"] = cfg
+    return cfg
+
+
 def _resolved_batches(spec: AlgorithmSpec, ctx: RunContext,
                       result: "MatchResult") -> int | None:
     """The batch count actually used (auto-fit resolves ``None``)."""
     if not spec.needs_batches:
         return None
     cfg = result.stats.get("config")
-    resolved = getattr(cfg, "num_batches", None)
+    if isinstance(cfg, dict):
+        resolved = cfg.get("num_batches")
+    else:
+        resolved = getattr(cfg, "num_batches", None)
     return resolved if resolved is not None else ctx.num_batches
 
 
@@ -85,6 +108,9 @@ def execute(
     scanned = result.stats.get("edges_scanned")
     if scanned is not None:
         extra["edges_scanned"] = _coerce(scanned)
+    config = _normalise_config(result)
+    if config is not None:
+        extra["config"] = config
 
     record = RunRecord(
         algorithm=spec.name,

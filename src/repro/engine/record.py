@@ -21,7 +21,11 @@ __all__ = ["RunRecord", "SCHEMA_VERSION"]
 #: host platform, dataset fingerprint, wall+sim durations) — see
 #: :mod:`repro.telemetry.provenance`.  v1 documents still load
 #: (``provenance`` comes back ``None``).
-SCHEMA_VERSION = 2
+#: v3: adds ``status`` (``"ok"``/``"error"``) and ``error`` (exception
+#: type/message/traceback) so a crashed sweep cell serialises as a
+#: record instead of killing the grid.  v1/v2 documents still load
+#: (``status`` comes back ``"ok"``, ``error`` ``None``).
+SCHEMA_VERSION = 3
 
 
 def _coerce(v: Any) -> Any:
@@ -63,6 +67,13 @@ class RunRecord:
     num_batches: int | None = None
     seed: int | None = None
     capability_tags: tuple[str, ...] = ()
+    #: ``"ok"`` for a completed run; ``"error"`` when the cell crashed
+    #: and :func:`~repro.engine.cells.run_cells` recorded the failure
+    #: instead of propagating it.
+    status: str = "ok"
+    #: ``{"type", "message", "traceback"}`` of the failure for an
+    #: ``error`` record; ``None`` on success.
+    error: dict[str, Any] | None = None
     timeline_totals: dict[str, float] | None = None
     #: Self-description manifest (:func:`repro.telemetry.provenance.
     #: build_manifest`) — code/env versions, dataset fingerprint, seed.
@@ -70,6 +81,11 @@ class RunRecord:
     extra: dict[str, Any] = field(default_factory=dict)
     #: The producing MatchResult — in-process only, never serialised.
     result: Any = field(default=None, compare=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True for a completed run (``status == "ok"``)."""
+        return self.status == "ok"
 
     # -------------------------------------------------------------- #
     # serialisation

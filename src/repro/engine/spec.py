@@ -63,6 +63,12 @@ class AlgorithmSpec:
     approx_ratio:
         Worst-case approximation guarantee as a display string
         (``"1/2"``, ``"2/3"``, ``"2/3-eps"``); ``None`` for exact solvers.
+    parallel_safe:
+        The callable is a pure function of ``(graph, kwargs)`` — no
+        process-global mutable state — so
+        :func:`~repro.engine.cells.run_cells` may dispatch it to worker
+        processes.  Mark ``False`` for algorithms that mutate shared
+        state (e.g. incremental matchers wrapping a live object).
     tags:
         Extra free-form capability tags.
     """
@@ -79,6 +85,7 @@ class AlgorithmSpec:
     simulator_backed: bool = False
     exact: bool = False
     approx_ratio: str | None = None
+    parallel_safe: bool = True
     tags: tuple[str, ...] = ()
 
     @property
@@ -91,6 +98,8 @@ class AlgorithmSpec:
             out.append("exact")
         if self.approx_ratio is not None:
             out.append(f"approx_ratio={self.approx_ratio}")
+        out.append("parallel-safe" if self.parallel_safe
+                   else "serial-only")
         out.extend(self.tags)
         return tuple(out)
 

@@ -24,6 +24,13 @@ class DeviceOOMError(MemoryError):
             f"({used} B of {capacity} B already in use)"
         )
 
+    def __reduce__(self):
+        # args holds the formatted message, not the constructor
+        # signature — restore from the fields so the exception survives
+        # the worker→parent pickle hop of parallel sweeps.
+        return (DeviceOOMError,
+                (self.device, self.request, self.used, self.capacity))
+
 
 class MemoryPool:
     """Capacity-checked allocator for one simulated device."""

@@ -3,8 +3,22 @@
 ``repro.harness.experiments`` has one entry point per table/figure of the
 paper's evaluation section; the ``benchmarks/`` tree and the CLI both call
 into it.  See DESIGN.md §4 for the experiment index.
+
+Grid execution lives in :mod:`repro.engine.cells` (``Cell`` /
+``run_cells``); this package adds the process-parallel executor
+(:mod:`repro.harness.parallel`), the fingerprint-keyed on-disk
+:class:`~repro.harness.cache.GraphCache`, and the benchmark-regression
+gate (:mod:`repro.harness.bench`).
 """
 
+from repro.harness.bench import (
+    SUITES,
+    compare_reports,
+    run_bench,
+    validate_bench_report,
+    write_bench_report,
+)
+from repro.harness.cache import GraphCache, default_cache_root
 from repro.harness.datasets import (
     DATASETS,
     PLATFORMS,
@@ -15,11 +29,13 @@ from repro.harness.datasets import (
     small_datasets,
     large_datasets,
     quality_instance,
+    warm_graph_cache,
 )
 from repro.harness.runners import ALGORITHMS, run_algorithm, best_ld_gpu
 from repro.harness.sweep import (
     TABLE1_BATCH_COUNTS,
     TABLE1_DEVICE_COUNTS,
+    sweep_cells,
     sweep_ld_gpu,
 )
 from repro.harness.report import format_table
@@ -34,11 +50,20 @@ __all__ = [
     "small_datasets",
     "large_datasets",
     "quality_instance",
+    "warm_graph_cache",
     "ALGORITHMS",
     "run_algorithm",
     "best_ld_gpu",
     "TABLE1_DEVICE_COUNTS",
     "TABLE1_BATCH_COUNTS",
+    "sweep_cells",
     "sweep_ld_gpu",
+    "GraphCache",
+    "default_cache_root",
+    "SUITES",
+    "run_bench",
+    "write_bench_report",
+    "validate_bench_report",
+    "compare_reports",
     "format_table",
 ]

@@ -1,0 +1,237 @@
+"""Benchmark suites with a committed-baseline regression gate.
+
+The paper's claims are *relative* — LD-GPU beats SR-GPU here, scaling
+curves bend there — so the quantity worth gating in CI is the modeled
+``sim_time``: it is a deterministic function of (graph, configuration,
+cost model) and any drift means the cost model or an algorithm changed,
+not that the CI machine was busy.  Wall-clock medians ride along as
+informational fields but are never gated.
+
+Protocol: every workload of a suite runs ``repeats`` times through
+:func:`~repro.engine.cells.run_cells` (so ``parallel=N`` and the graph
+cache apply), medians over the repeats land in a ``BENCH_<suite>.json``
+document at the repository root, and :func:`compare_reports` checks it
+against a committed baseline (``benchmarks/baseline_<suite>.json``)
+with a relative tolerance.  ``repro-matching bench`` is the CLI face;
+the CI ``bench-smoke`` job fails on any regression beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.engine.cells import Cell, run_cells
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Workload",
+    "SUITES",
+    "run_bench",
+    "write_bench_report",
+    "validate_bench_report",
+    "compare_reports",
+    "bench_report_path",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmarked configuration (fixed algorithm/dataset/config)."""
+
+    name: str
+    algorithm: str
+    dataset: str
+    quality: bool = True
+    config: dict[str, Any] = field(default_factory=dict)
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+    def cell(self) -> Cell:
+        return Cell(self.algorithm, dataset=self.dataset,
+                    quality=self.quality, config=dict(self.config),
+                    overrides=dict(self.overrides),
+                    label=self.name)
+
+
+#: Benchmark suites.  ``smoke`` runs on the tiny blossom-tractable
+#: quality instances so the whole suite (x repeats) costs seconds —
+#: small enough for a per-push CI gate while still crossing every
+#: interesting code path: multi-device LD-GPU, forced batching, both
+#: suitor baselines and a sequential reference.
+SUITES: dict[str, tuple[Workload, ...]] = {
+    "smoke": (
+        Workload("ld_gpu-1dev", "ld_gpu", "GAP-kron",
+                 config={"num_devices": 1},
+                 overrides={"collect_stats": False}),
+        Workload("ld_gpu-4dev", "ld_gpu", "GAP-kron",
+                 config={"num_devices": 4},
+                 overrides={"collect_stats": False}),
+        Workload("ld_gpu-stream", "ld_gpu", "mouse_gene",
+                 config={"num_devices": 2, "num_batches": 3},
+                 overrides={"collect_stats": False,
+                            "force_streaming": True}),
+        Workload("sr_gpu", "sr_gpu", "GAP-kron"),
+        Workload("sr_omp", "sr_omp", "mouse_gene"),
+        Workload("ld_seq", "ld_seq", "mouse_gene"),
+    ),
+}
+
+
+def _median(values: list[float]) -> float | None:
+    vals = [v for v in values if v is not None]
+    return statistics.median(vals) if vals else None
+
+
+def run_bench(
+    suite: str = "smoke",
+    repeats: int = 3,
+    parallel: int = 0,
+    cache: Any = None,
+) -> dict[str, Any]:
+    """Run a suite; returns the ``BENCH_*.json`` document (schema v1).
+
+    Every workload runs ``repeats`` times; ``median_sim_time_s`` (the
+    gated metric — deterministic modeled seconds) and
+    ``median_wall_time_s`` (informational) are medians over the repeats.
+    A crashing workload reports ``status="error"`` with the error type
+    instead of killing the suite.
+    """
+    if suite not in SUITES:
+        raise KeyError(f"unknown bench suite {suite!r}; "
+                       f"have {sorted(SUITES)}")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    workloads = SUITES[suite]
+    cells = [w.cell() for w in workloads for _ in range(repeats)]
+    records = run_cells(cells, parallel=parallel, cache=cache)
+
+    entries = []
+    for i, w in enumerate(workloads):
+        group = records[i * repeats:(i + 1) * repeats]
+        ok = [r for r in group if r.ok]
+        entry: dict[str, Any] = {
+            "name": w.name,
+            "algorithm": w.algorithm,
+            "dataset": w.dataset,
+            "status": "ok" if len(ok) == len(group) else "error",
+            "median_sim_time_s": _median([r.sim_time for r in ok]),
+            "median_wall_time_s": _median([r.wall_time_s for r in ok]),
+            "weight": ok[0].weight if ok else None,
+            "iterations": ok[0].iterations if ok else None,
+        }
+        if entry["status"] == "error":
+            bad = next(r for r in group if not r.ok)
+            entry["error"] = {"type": bad.error["type"],
+                              "message": bad.error["message"]}
+        entries.append(entry)
+
+    from repro.harness.cache import cache_disabled, default_cache_root
+    from repro.telemetry.provenance import build_manifest
+
+    used_cache = None
+    if parallel and cache is not False:
+        used_cache = str(cache.root) if cache is not None \
+            else (None if cache_disabled() else str(default_cache_root()))
+
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "repeats": repeats,
+        "workloads": entries,
+        "provenance": build_manifest(dataset_cache=used_cache),
+    }
+
+
+def bench_report_path(suite: str, root: "Path | str | None" = None) -> Path:
+    """Where a suite's report lands: ``BENCH_<suite>.json`` under
+    ``root`` (default: the current directory, i.e. the repo root when
+    run from CI)."""
+    base = Path(root) if root is not None else Path.cwd()
+    return base / f"BENCH_{suite}.json"
+
+
+def write_bench_report(report: dict[str, Any],
+                       path: "Path | str | None" = None) -> Path:
+    """Write ``report`` to ``path`` (default
+    :func:`bench_report_path`)."""
+    out = Path(path) if path is not None \
+        else bench_report_path(report["suite"])
+    with open(out, "wt") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    return out
+
+
+def validate_bench_report(doc: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed v1 report."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench report must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench report schema {doc.get('schema')!r} != "
+            f"{BENCH_SCHEMA_VERSION}")
+    for key in ("suite", "repeats", "workloads", "provenance"):
+        if key not in doc:
+            raise ValueError(f"bench report missing {key!r}")
+    if not isinstance(doc["workloads"], list) or not doc["workloads"]:
+        raise ValueError("bench report has no workloads")
+    for w in doc["workloads"]:
+        for key in ("name", "algorithm", "dataset", "status",
+                    "median_sim_time_s", "median_wall_time_s"):
+            if key not in w:
+                raise ValueError(
+                    f"workload {w.get('name', '?')!r} missing {key!r}")
+        if w["status"] == "ok" and not isinstance(
+                w["median_sim_time_s"], (int, float, type(None))):
+            raise ValueError(
+                f"workload {w['name']!r}: median_sim_time_s must be "
+                "numeric or null")
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.05,
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Returns human-readable problem strings (empty list = gate passes):
+    a workload whose gated metric (``median_sim_time_s``) exceeds the
+    baseline by more than ``tolerance`` (relative), went from ok to
+    error, or disappeared.  Faster-than-baseline and wall-clock changes
+    never fail the gate; new workloads without a baseline entry are
+    reported as advisory ``"new workload"`` lines only when the
+    baseline suite matches.
+    """
+    problems: list[str] = []
+    if current.get("suite") != baseline.get("suite"):
+        problems.append(
+            f"suite mismatch: current {current.get('suite')!r} vs "
+            f"baseline {baseline.get('suite')!r}")
+        return problems
+    cur = {w["name"]: w for w in current["workloads"]}
+    base = {w["name"]: w for w in baseline["workloads"]}
+    for name, b in base.items():
+        c = cur.get(name)
+        if c is None:
+            problems.append(f"{name}: workload missing from current run")
+            continue
+        if b["status"] == "ok" and c["status"] != "ok":
+            err = c.get("error", {})
+            problems.append(
+                f"{name}: now failing ({err.get('type', 'unknown')}: "
+                f"{err.get('message', '')})")
+            continue
+        bt, ct = b["median_sim_time_s"], c["median_sim_time_s"]
+        if bt is None or ct is None:
+            continue
+        if ct > bt * (1.0 + tolerance):
+            problems.append(
+                f"{name}: median_sim_time_s {ct:.6g}s exceeds baseline "
+                f"{bt:.6g}s by more than {100 * tolerance:.1f}%")
+    return problems

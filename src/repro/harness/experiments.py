@@ -19,6 +19,7 @@ from typing import Any
 import numpy as np
 
 from repro.engine import RunContext, execute
+from repro.engine.cells import Cell, run_cells
 from repro.gpusim.memory import DeviceOOMError
 from repro.gpusim.spec import DGX_2, DGX_A100, DGX_A100_PCIE
 from repro.gpusim.timeline import COMPONENTS
@@ -117,7 +118,8 @@ def _pick(names: list[str], quick: bool, k: int = 3) -> list[str]:
 # ------------------------------------------------------------------ #
 # Table I — best execution times and speedups
 # ------------------------------------------------------------------ #
-def table1_execution_times(quick: bool = False) -> ExperimentResult:
+def table1_execution_times(quick: bool = False,
+                           parallel: int = 0) -> ExperimentResult:
     """Table I (right): best times for SR-OMP / SR-GPU / LD-GPU and the
     LD-GPU speedups.  '-' marks out-of-memory, as in the paper."""
     names = _pick(large_datasets(), quick, 2) + \
@@ -133,7 +135,7 @@ def table1_execution_times(quick: bool = False) -> ExperimentResult:
         except DeviceOOMError:
             sr_time = None
         ld, nd, nb = best_ld_gpu(g, ctx.platform, device_counts=devices,
-                                 batch_counts=batches)
+                                 batch_counts=batches, parallel=parallel)
         rows.append([
             name,
             omp.sim_time,
@@ -280,7 +282,7 @@ _TABLE6_GRAPHS = ["AGATHA-2015", "MOLIERE_2016", "GAP-urand", "GAP-kron",
                   "com-Friendster", "kmer_U1a"]
 
 
-def table6_fom(quick: bool = False) -> ExperimentResult:
+def table6_fom(quick: bool = False, parallel: int = 0) -> ExperimentResult:
     """Table VI: Mega-Matching-Edges-per-Second (higher is better).
 
     Times are paper-scale (bandwidth-scaled platforms), so matched edges
@@ -296,7 +298,7 @@ def table6_fom(quick: bool = False) -> ExperimentResult:
         ctx = RunContext.for_dataset(name)
         s = scale_factor(name)
         ld, _, _ = best_ld_gpu(g, ctx.platform, device_counts=devices,
-                               batch_counts=batches)
+                               batch_counts=batches, parallel=parallel)
         omp = execute("sr_omp", g, ctx).result
         rows.append([name, mmeps(ld) / s, mmeps(omp) / s])
     return ExperimentResult(
@@ -310,29 +312,32 @@ def table6_fom(quick: bool = False) -> ExperimentResult:
 # ------------------------------------------------------------------ #
 # Fig. 4 — strong scaling on LARGE inputs
 # ------------------------------------------------------------------ #
-def fig4_strong_scaling(quick: bool = False) -> ExperimentResult:
+def fig4_strong_scaling(quick: bool = False,
+                        parallel: int = 0) -> ExperimentResult:
     """Fig. 4: LD-GPU time on 1–8 A100s (best over batch counts <15)."""
     names = _pick(large_datasets(), quick, 2)
     devices = (1, 2, 4) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
     _, batches = _sweeps(quick)
+    cells, keys = [], []
+    for name in names:
+        ctx = RunContext.for_dataset(name)
+        for nd in devices:
+            for nb in batches:
+                cells.append(Cell(
+                    "ld_gpu", dataset=name, ctx=ctx,
+                    config={"num_devices": nd, "num_batches": nb},
+                    overrides={"collect_stats": False},
+                ))
+                keys.append((name, nd))
+    records = run_cells(cells, parallel=parallel)
+    best: dict[tuple, float] = {}
+    for key, r in zip(keys, records):
+        if r.ok and (key not in best or r.sim_time < best[key]):
+            best[key] = r.sim_time
     rows = []
     series: dict[str, list[float]] = {}
     for name in names:
-        g = load_dataset(name)
-        ctx = RunContext.for_dataset(name)
-        times = []
-        for nd in devices:
-            best = None
-            for nb in batches:
-                try:
-                    cfg = ctx.with_config(num_devices=nd, num_batches=nb)
-                    r = execute("ld_gpu", g, cfg,
-                                collect_stats=False).result
-                except DeviceOOMError:
-                    continue
-                if best is None or r.sim_time < best:
-                    best = r.sim_time
-            times.append(best)
+        times = [best.get((name, nd)) for nd in devices]
         series[name] = times
         base = times[0]
         rows.append([name] + [
@@ -352,23 +357,25 @@ def fig4_strong_scaling(quick: bool = False) -> ExperimentResult:
 # ------------------------------------------------------------------ #
 # Fig. 5 — component-wise timing
 # ------------------------------------------------------------------ #
-def fig5_components(quick: bool = False) -> ExperimentResult:
+def fig5_components(quick: bool = False,
+                    parallel: int = 0) -> ExperimentResult:
     """Fig. 5: % of total time per component across devices."""
     names = _pick(large_datasets(), quick, 1) + \
         _pick(small_datasets(), quick, 1)
     devices = (1, 4) if quick else (1, 2, 4, 8)
+    cells = [
+        Cell("ld_gpu", dataset=name, ctx=RunContext.for_dataset(name),
+             config={"num_devices": nd},
+             overrides={"collect_stats": False})
+        for name in names for nd in devices
+    ]
     rows = []
-    for name in names:
-        g = load_dataset(name)
-        ctx = RunContext.for_dataset(name)
-        for nd in devices:
-            try:
-                r = execute("ld_gpu", g, ctx.with_config(num_devices=nd),
-                            collect_stats=False).result
-            except DeviceOOMError:
-                continue
-            f = r.timeline.fractions()
-            rows.append([name, nd] + [100.0 * f[c] for c in COMPONENTS])
+    for cell, rec in zip(cells, run_cells(cells, parallel=parallel)):
+        if not rec.ok:
+            continue
+        f = rec.result.timeline.fractions()
+        rows.append([cell.dataset, cell.config["num_devices"]] +
+                    [100.0 * f[c] for c in COMPONENTS])
     return ExperimentResult(
         "fig5",
         "Fig. 5: component-wise % of execution time",
@@ -383,22 +390,23 @@ def fig5_components(quick: bool = False) -> ExperimentResult:
 _BATCH_STUDY_GRAPHS = ["kmer_U1a", "mycielskian18", "kmer_V2a"]
 
 
-def fig6_batch_scaling(quick: bool = False) -> ExperimentResult:
+def fig6_batch_scaling(quick: bool = False,
+                       parallel: int = 0) -> ExperimentResult:
     """Fig. 6: forcing 1/3/5/10 batches on SMALL inputs across devices."""
     names = _pick(_BATCH_STUDY_GRAPHS, quick, 1)
     devices = (1, 2, 4) if quick else (1, 2, 4, 8)
     batch_counts = (1, 3) if quick else (1, 3, 5, 10)
+    cells = [
+        Cell("ld_gpu", dataset=name, ctx=RunContext.for_dataset(name),
+             config={"num_devices": nd, "num_batches": nb},
+             overrides={"collect_stats": False, "force_streaming": True})
+        for name in names for nb in batch_counts for nd in devices
+    ]
+    records = iter(run_cells(cells, parallel=parallel))
     rows = []
     for name in names:
-        g = load_dataset(name)
-        ctx = RunContext.for_dataset(name)
         for nb in batch_counts:
-            times = []
-            for nd in devices:
-                cfg = ctx.with_config(num_devices=nd, num_batches=nb)
-                r = execute("ld_gpu", g, cfg, collect_stats=False,
-                            force_streaming=True).result
-                times.append(r.sim_time)
+            times = [next(records).sim_time for _ in devices]
             rows.append([name, nb] + times)
     return ExperimentResult(
         "fig6",
@@ -410,20 +418,26 @@ def fig6_batch_scaling(quick: bool = False) -> ExperimentResult:
     )
 
 
-def fig7_kmer_components(quick: bool = False) -> ExperimentResult:
+def fig7_kmer_components(quick: bool = False,
+                         parallel: int = 0) -> ExperimentResult:
     """Fig. 7: kmer_U1a component breakdown under forced batching."""
-    g = load_dataset("kmer_U1a")
     ctx = RunContext.for_dataset("kmer_U1a")
     devices = (1, 4) if quick else (1, 2, 4, 8)
     batch_counts = (1, 3) if quick else (1, 3, 5, 10)
+    cells = [
+        Cell("ld_gpu", dataset="kmer_U1a", ctx=ctx,
+             config={"num_devices": nd, "num_batches": nb},
+             overrides={"collect_stats": False, "force_streaming": True})
+        for nb in batch_counts for nd in devices
+    ]
     rows = []
-    for nb in batch_counts:
-        for nd in devices:
-            cfg = ctx.with_config(num_devices=nd, num_batches=nb)
-            r = execute("ld_gpu", g, cfg, collect_stats=False,
-                        force_streaming=True).result
-            f = r.timeline.fractions()
-            rows.append([nb, nd] + [100.0 * f[c] for c in COMPONENTS])
+    for cell, rec in zip(cells, run_cells(cells, parallel=parallel)):
+        if not rec.ok:
+            continue
+        f = rec.result.timeline.fractions()
+        rows.append([cell.config["num_batches"],
+                     cell.config["num_devices"]] +
+                    [100.0 * f[c] for c in COMPONENTS])
     return ExperimentResult(
         "fig7",
         "Fig. 7: kmer_U1a component-wise % by #batches / #GPUs",
@@ -470,27 +484,31 @@ def fig8_warp_work(quick: bool = False) -> ExperimentResult:
 # ------------------------------------------------------------------ #
 # Fig. 9 — NVLink vs PCIe
 # ------------------------------------------------------------------ #
-def fig9_interconnect(quick: bool = False) -> ExperimentResult:
+def fig9_interconnect(quick: bool = False,
+                      parallel: int = 0) -> ExperimentResult:
     """Fig. 9: execution-time speedup of NVLink over PCIe."""
     names = _pick(large_datasets(), quick, 2) + \
         _pick(small_datasets(), quick, 1)
     devices = (2, 4) if quick else (2, 4, 8)
+    cells = []
+    for name in names:
+        nvctx = RunContext.for_dataset(name, platform=DGX_A100)
+        pcctx = RunContext.for_dataset(name, platform=DGX_A100_PCIE)
+        for nd in devices:
+            for ctx in (nvctx, pcctx):
+                cells.append(Cell(
+                    "ld_gpu", dataset=name, ctx=ctx,
+                    config={"num_devices": nd},
+                    overrides={"collect_stats": False},
+                ))
+    records = iter(run_cells(cells, parallel=parallel))
     rows = []
     speedups = []
     for name in names:
-        g = load_dataset(name)
-        nvctx = RunContext.for_dataset(name, platform=DGX_A100)
-        pcctx = RunContext.for_dataset(name, platform=DGX_A100_PCIE)
         row: list[Any] = [name]
         for nd in devices:
-            try:
-                nv = execute("ld_gpu", g,
-                             nvctx.with_config(num_devices=nd),
-                             collect_stats=False).result
-                pc = execute("ld_gpu", g,
-                             pcctx.with_config(num_devices=nd),
-                             collect_stats=False).result
-            except DeviceOOMError:
+            nv, pc = next(records), next(records)
+            if not (nv.ok and pc.ok):
                 row.append(None)
                 continue
             s = pc.sim_time / nv.sim_time
@@ -512,27 +530,31 @@ def fig9_interconnect(quick: bool = False) -> ExperimentResult:
 _FIG10_GRAPHS = ["GAP-kron", "com-Friendster"]
 
 
-def fig10_platforms(quick: bool = False) -> ExperimentResult:
+def fig10_platforms(quick: bool = False,
+                    parallel: int = 0) -> ExperimentResult:
     """Fig. 10: LD-GPU scalability on DGX-A100 (8×A100) vs DGX-2
     (16×V100)."""
     names = _pick(_FIG10_GRAPHS, quick, 1)
     a_devices = (1, 4) if quick else (1, 2, 4, 8)
     v_devices = (1, 4) if quick else (1, 2, 4, 8, 16)
-    rows = []
+    cells = []
     for name in names:
-        g = load_dataset(name)
         for plat, devices in ((DGX_A100, a_devices), (DGX_2, v_devices)):
             ctx = RunContext.for_dataset(name, platform=plat)
             for nd in devices:
-                try:
-                    r = execute("ld_gpu", g,
-                                ctx.with_config(num_devices=nd),
-                                collect_stats=False).result
-                except DeviceOOMError:
-                    continue
-                cfg = r.stats["config"]
-                rows.append([name, plat.name, nd, cfg.num_batches,
-                             r.sim_time])
+                cells.append(Cell(
+                    "ld_gpu", dataset=name, ctx=ctx,
+                    config={"num_devices": nd},
+                    overrides={"collect_stats": False},
+                    label=plat.name,
+                ))
+    rows = []
+    for cell, rec in zip(cells, run_cells(cells, parallel=parallel)):
+        if not rec.ok:
+            continue
+        rows.append([cell.dataset, cell.label,
+                     cell.config["num_devices"], rec.num_batches,
+                     rec.sim_time])
     return ExperimentResult(
         "fig10",
         "Fig. 10: DGX-A100 vs DGX-2 scalability (modeled s)",

@@ -1,0 +1,180 @@
+"""Process-parallel sweep execution.
+
+Sweep grids are embarrassingly parallel across configurations — every
+cell is an independent ``(algorithm, graph, context)`` triple whose
+result depends on nothing but its own inputs (Birn et al.,
+arXiv:1302.4587 exploit exactly this for matching experiments).  This
+module fans :func:`~repro.engine.cells.run_cells` grids out to a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **Bit-identical to serial.**  Per-cell seeds are derived before
+  dispatch (:func:`~repro.engine.cells.derive_cell_seed`), workers run
+  the same :func:`~repro.engine.cells.run_materialised_cell` path as the
+  serial loop, and results are re-ordered to cell order on collection.
+* **Failure-isolated.**  A crashing cell comes back as an ``error``
+  :class:`~repro.engine.record.RunRecord`; the rest of the grid keeps
+  running (``on_error="raise"`` opts back into fail-fast).
+* **Generation once per grid.**  Input graphs are staged through the
+  fingerprint-keyed :class:`~repro.harness.cache.GraphCache` and loaded
+  from ``.npz`` by the workers, so an RMAT/k-mer analog is generated
+  once in the parent — never once per cell, and (warm cache) not even
+  once per run.  With the cache disabled graphs ship by pickle instead.
+
+Environment: ``REPRO_PARALLEL_START_METHOD`` forces a multiprocessing
+start method (``fork``/``spawn``/``forkserver``); the platform default
+is used otherwise.  Context ``sinks`` are not notified from workers —
+aggregate from the returned records instead.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.engine.cells import (
+    MaterialisedCell,
+    error_record,
+    run_materialised_cell,
+)
+from repro.engine.record import RunRecord
+from repro.harness.cache import GraphCache, cache_disabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRGraph
+
+__all__ = ["run_cells_parallel"]
+
+_ENV_START_METHOD = "REPRO_PARALLEL_START_METHOD"
+
+
+@dataclass(frozen=True)
+class _GraphRef:
+    """How a worker obtains a cell's input graph.
+
+    Either a disk reference (``path`` + expected ``fingerprint``,
+    verified on load) or the pickled graph itself (``inline``) when the
+    cache is disabled.
+    """
+
+    path: str | None = None
+    fingerprint: str | None = None
+    inline: "CSRGraph | None" = None
+
+
+#: Per-worker memo of disk-loaded graphs, so a worker deserialises each
+#: distinct graph once per process, not once per cell.
+_WORKER_GRAPHS: dict[tuple[str, str], "CSRGraph"] = {}
+
+
+def _load_ref(ref: _GraphRef) -> "CSRGraph":
+    if ref.inline is not None:
+        return ref.inline
+    key = (ref.path, ref.fingerprint)  # type: ignore[assignment]
+    graph = _WORKER_GRAPHS.get(key)
+    if graph is None:
+        graph = GraphCache().load(ref.path, ref.fingerprint)
+        _WORKER_GRAPHS[key] = graph
+    return graph
+
+
+def _worker_run(payload: tuple[MaterialisedCell, _GraphRef, str]
+                ) -> tuple[int, RunRecord]:
+    """Executed in a worker process: resolve the graph, run the cell."""
+    mc, ref, on_error = payload
+    try:
+        graph = _load_ref(ref)
+    except Exception as exc:
+        if on_error == "raise":
+            raise
+        return mc.index, error_record(mc.cell, mc.ctx, None, exc)
+    return mc.index, run_materialised_cell(mc, graph, on_error)
+
+
+def _graph_key(mc: MaterialisedCell) -> tuple[str | None, bool]:
+    return (mc.cell.dataset, mc.cell.quality)
+
+
+def _resolve_parent_graph(mc: MaterialisedCell,
+                          shared: "CSRGraph | None") -> "CSRGraph":
+    """Build/fetch a cell's graph in the parent (memoised registry)."""
+    cell = mc.cell
+    if cell.dataset is not None:
+        from repro.harness.datasets import load_dataset, quality_instance
+
+        return quality_instance(cell.dataset) if cell.quality \
+            else load_dataset(cell.dataset)
+    if shared is None:
+        raise ValueError(
+            f"cell {cell.algorithm_name!r} names no dataset and "
+            "run_cells received no graph"
+        )
+    return shared
+
+
+def _mp_context():
+    method = os.environ.get(_ENV_START_METHOD)
+    if not method:
+        return None
+    import multiprocessing
+
+    return multiprocessing.get_context(method)
+
+
+def run_cells_parallel(
+    materialised: Sequence[MaterialisedCell],
+    *,
+    graph: "CSRGraph | None" = None,
+    max_workers: int = 2,
+    on_error: str = "record",
+    cache: Any = None,
+) -> list[RunRecord]:
+    """Fan materialised cells out to worker processes; records return in
+    cell order.
+
+    ``cache=None`` stages graphs through the default
+    :class:`GraphCache` (honouring ``REPRO_GRAPH_CACHE``); pass a
+    :class:`GraphCache` to control placement, or ``False`` to ship
+    graphs by pickle.  Callers normally reach this through
+    :func:`repro.engine.cells.run_cells` with ``parallel=N``.
+    """
+    if not materialised:
+        return []
+    use_cache: GraphCache | None
+    if cache is False:
+        use_cache = None
+    elif cache is None:
+        use_cache = None if cache_disabled() else GraphCache()
+    else:
+        use_cache = cache
+
+    # One graph build per distinct (dataset, quality) of the grid —
+    # generation happens here, in the parent, exactly once.
+    refs: dict[tuple[str | None, bool], _GraphRef] = {}
+    for mc in materialised:
+        key = _graph_key(mc)
+        if key in refs:
+            continue
+        g = _resolve_parent_graph(mc, graph)
+        if use_cache is not None:
+            path, fingerprint = use_cache.store(g)
+            refs[key] = _GraphRef(path=str(path), fingerprint=fingerprint)
+        else:
+            refs[key] = _GraphRef(inline=g)
+
+    # Sinks hold process-local state (open registries, file handles);
+    # they neither pickle nor report back, so workers run without them.
+    payloads = [
+        (MaterialisedCell(mc.index, mc.cell,
+                          mc.ctx.with_config(sinks=())),
+         refs[_graph_key(mc)], on_error)
+        for mc in materialised
+    ]
+
+    results: dict[int, RunRecord] = {}
+    with ProcessPoolExecutor(max_workers=max_workers,
+                             mp_context=_mp_context()) as pool:
+        for index, record in pool.map(_worker_run, payloads):
+            results[index] = record
+    return [results[mc.index] for mc in materialised]

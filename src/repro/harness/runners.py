@@ -4,21 +4,32 @@ Dispatch is backed by the :mod:`repro.engine` registry: ``ALGORITHMS``
 is a live read-only view of the registered
 :class:`~repro.engine.spec.AlgorithmSpec` callables, so a newly
 registered algorithm shows up here (and in the CLI) with no edits.
+
+``best_ld_gpu`` — the paper's best-over-sweep reporting protocol — is a
+:func:`~repro.engine.cells.run_cells` grid underneath, which is what
+gives it the ``parallel=N`` fan-out for free.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from collections.abc import Mapping
 from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from repro.engine.cells import run_cells
 from repro.engine.errors import ConfigurationDivergenceError
 from repro.engine.spec import algorithm_names, get_spec
 from repro.graph.csr import CSRGraph
 from repro.gpusim.memory import DeviceOOMError
 from repro.gpusim.spec import DGX_A100, PlatformSpec
-from repro.harness.sweep import TABLE1_BATCH_COUNTS, TABLE1_DEVICE_COUNTS
+from repro.harness.sweep import (
+    TABLE1_BATCH_COUNTS,
+    TABLE1_DEVICE_COUNTS,
+    sweep_cells,
+)
 from repro.matching.types import MatchResult
 
 __all__ = ["ALGORITHMS", "run_algorithm", "best_ld_gpu"]
@@ -44,11 +55,39 @@ ALGORITHMS: Mapping[str, Callable[..., MatchResult]] = _RegistryView()
 def run_algorithm(name: str, graph: CSRGraph, **kwargs: Any) -> MatchResult:
     """Run algorithm ``name`` on ``graph``.
 
+    .. deprecated::
+        Use :func:`repro.engine.execute` (which returns a full
+        :class:`~repro.engine.record.RunRecord`, normalises
+        ``stats["config"]`` and drives sinks) or
+        :func:`repro.engine.cells.run_cells` for grids.  This thin
+        dispatcher stays for scripts that want the bare
+        :class:`MatchResult`.
+
     Raises ``KeyError`` for unknown names; algorithm-specific errors
     (e.g. :class:`DeviceOOMError`) propagate so callers can render the
     paper's '-' entries.
     """
+    warnings.warn(
+        "run_algorithm() is deprecated; use repro.engine.execute() "
+        "(single run) or repro.engine.run_cells() (grids) instead",
+        DeprecationWarning, stacklevel=2,
+    )
     return get_spec(name).fn(graph, **kwargs)
+
+
+def _ld_gpu_current(graph: CSRGraph, **kwargs: Any) -> MatchResult:
+    """LD-GPU resolved at call time through its module attribute.
+
+    ``best_ld_gpu`` binds this (not the registered function object) so
+    monkeypatched ``repro.matching.ld_gpu.ld_gpu`` replacements take
+    effect; module-level, so it pickles to worker processes.  Resolved
+    through ``importlib`` because the package attribute of the same
+    name is shadowed by the function it exports.
+    """
+    import importlib
+
+    return importlib.import_module("repro.matching.ld_gpu") \
+        .ld_gpu(graph, **kwargs)
 
 
 def best_ld_gpu(
@@ -57,6 +96,7 @@ def best_ld_gpu(
     device_counts: tuple[int, ...] = TABLE1_DEVICE_COUNTS,
     batch_counts: tuple[int | None, ...] = TABLE1_BATCH_COUNTS,
     collect_stats: bool = False,
+    parallel: int = 0,
 ) -> tuple[MatchResult, int, int]:
     """The paper's reporting protocol for Table I: run LD-GPU over the
     device grid :data:`~repro.harness.sweep.TABLE1_DEVICE_COUNTS` and the
@@ -65,7 +105,8 @@ def best_ld_gpu(
 
     Returns ``(result, num_devices, num_batches)`` of the winner.
     Configurations that cannot fit memory are skipped (they are the runs
-    the paper could not perform either).
+    the paper could not perform either).  ``parallel=N`` fans the grid
+    out to N worker processes with an identical winner.
 
     Raises
     ------
@@ -76,31 +117,35 @@ def best_ld_gpu(
     DeviceOOMError
         If every configuration of the sweep runs out of device memory.
     """
-    from repro.matching.ld_gpu import ld_gpu
+    spec = dataclasses.replace(get_spec("ld_gpu"), fn=_ld_gpu_current)
+    cells = sweep_cells((platform,), device_counts, batch_counts,
+                        algorithm=spec, collect_stats=collect_stats)
+    records = run_cells(cells, graph=graph, parallel=parallel)
 
     best: tuple[MatchResult, int, int] | None = None
     mate_ref: np.ndarray | None = None
     ref_config = ""
-    for nd in device_counts:
-        if nd > platform.max_devices:
-            continue
-        for nb in batch_counts:
-            try:
-                r = ld_gpu(graph, platform, num_devices=nd, num_batches=nb,
-                           collect_stats=collect_stats)
-            except DeviceOOMError:
+    for cell, record in zip(cells, records):
+        if not record.ok:
+            if record.error["type"] == "DeviceOOMError":
                 continue
-            config = f"{nd} devices x {nb or 'auto'} batches"
-            if mate_ref is None:
-                mate_ref = r.mate
-                ref_config = config
-            elif not np.array_equal(mate_ref, r.mate):
-                raise ConfigurationDivergenceError(
-                    "ld_gpu", ref_config, config
-                )
-            if best is None or r.sim_time < best[0].sim_time:
-                cfg = r.stats["config"]
-                best = (r, nd, cfg.num_batches)
+            raise RuntimeError(
+                f"LD-GPU sweep cell crashed "
+                f"({record.error['type']}: {record.error['message']})\n"
+                f"{record.error['traceback']}"
+            )
+        r = record.result
+        nd = cell.config["num_devices"]
+        nb = cell.config["num_batches"]
+        config = f"{nd} devices x {nb or 'auto'} batches"
+        if mate_ref is None:
+            mate_ref = r.mate
+            ref_config = config
+        elif not np.array_equal(mate_ref, r.mate):
+            raise ConfigurationDivergenceError("ld_gpu", ref_config,
+                                               config)
+        if best is None or r.sim_time < best[0].sim_time:
+            best = (r, nd, record.num_batches)
     if best is None:
         raise DeviceOOMError(platform.device.name, 0, 0,
                              platform.device.memory_bytes)

@@ -4,6 +4,15 @@ The paper's reporting protocol is "best over a sweep" (Table I's caption,
 Fig. 4's method); this module makes that protocol a first-class object so
 the CLI, benches and users run identical grids and get back a tidy table
 of every configuration — not just the winner.
+
+Sweeps are cell grids: :func:`sweep_ld_gpu` builds one
+:class:`~repro.engine.cells.Cell` per configuration and maps them
+through :func:`~repro.engine.cells.run_cells` — serially by default,
+process-parallel with ``parallel=N`` (bit-identical results, see
+:mod:`repro.harness.parallel`).  A cell that fails — out-of-memory or
+any other crash — becomes an ``error`` record and a ``time_s=None``
+point instead of killing the grid, mirroring how the paper reports
+infeasible runs.
 """
 
 from __future__ import annotations
@@ -11,17 +20,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.engine.cells import Cell, run_cells
+from repro.engine.context import RunContext
+from repro.engine.record import RunRecord
 from repro.gpusim.memory import DeviceOOMError
 from repro.gpusim.spec import DGX_A100, PlatformSpec
 from repro.graph.csr import CSRGraph
 from repro.harness.report import format_table
-from repro.matching.ld_gpu import ld_gpu
 
 __all__ = [
     "TABLE1_DEVICE_COUNTS",
     "TABLE1_BATCH_COUNTS",
     "SweepPoint",
     "SweepResult",
+    "sweep_cells",
     "sweep_ld_gpu",
 ]
 
@@ -36,7 +48,7 @@ TABLE1_BATCH_COUNTS: tuple[int | None, ...] = (None, 2, 3, 5, 10, 14)
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One configuration's outcome (``time_s`` is None on OOM)."""
+    """One configuration's outcome (``time_s`` is None on OOM/error)."""
 
     platform: str
     num_devices: int
@@ -54,14 +66,20 @@ class SweepPoint:
 class SweepResult:
     """All points of a sweep plus the winner.
 
+    ``records`` holds the full :class:`RunRecord` per cell (aligned
+    with ``points``), including ``status="error"`` records for failed
+    cells — inspect ``record.error`` to distinguish an OOM from a bug.
+
     With ``collect_metrics=True`` each cell's telemetry snapshot lands
-    in ``cell_snapshots`` (aligned with ``points``) and ``metrics``
-    holds the sweep-level aggregate — histograms (span durations,
-    kernel costs) merged across every cell of the grid.
+    in ``cell_snapshots`` (aligned with ``points``; failed cells get an
+    empty snapshot) and ``metrics`` holds the sweep-level aggregate —
+    histograms (span durations, kernel costs) merged across every cell
+    of the grid.
     """
 
     graph_name: str
     points: list[SweepPoint] = field(default_factory=list)
+    records: list[RunRecord] = field(default_factory=list)
     cell_snapshots: list[Any] = field(default_factory=list)
     metrics: Any | None = None
 
@@ -89,60 +107,109 @@ class SweepResult:
         )
 
 
+def sweep_cells(
+    platforms: Iterable[PlatformSpec] = (DGX_A100,),
+    device_counts: Iterable[int] = TABLE1_DEVICE_COUNTS,
+    batch_counts: Iterable[int | None] = (None,),
+    algorithm: str = "ld_gpu",
+    **overrides: Any,
+) -> list[Cell]:
+    """The cell grid of a sweep: platforms × devices × batches.
+
+    Device counts beyond a platform's ``max_devices`` are skipped, as
+    in the paper's protocol.  ``overrides`` are forwarded to every
+    cell's algorithm call.
+    """
+    cells: list[Cell] = []
+    for plat in platforms:
+        for nd in device_counts:
+            if nd > plat.max_devices:
+                continue
+            for nb in batch_counts:
+                cells.append(Cell(
+                    algorithm,
+                    config={"platform": plat, "num_devices": nd,
+                            "num_batches": nb},
+                    overrides=dict(overrides),
+                ))
+    return cells
+
+
+def _point_for(cell: Cell, record: RunRecord) -> SweepPoint:
+    plat_name = cell.config["platform"].name
+    if not record.ok:
+        return SweepPoint(plat_name, cell.config["num_devices"],
+                          cell.config["num_batches"], None, None, None)
+    return SweepPoint(
+        plat_name, record.num_devices, record.num_batches,
+        record.sim_time, record.iterations,
+        record.result.timeline.communication_fraction(),
+    )
+
+
 def sweep_ld_gpu(
     graph: CSRGraph,
     platforms: Iterable[PlatformSpec] = (DGX_A100,),
     device_counts: Iterable[int] = TABLE1_DEVICE_COUNTS,
     batch_counts: Iterable[int | None] = (None,),
     collect_metrics: bool = False,
+    parallel: int = 0,
+    seed: int | None = None,
     **ld_kwargs: Any,
 ) -> SweepResult:
     """Run LD-GPU over the configuration grid.
 
-    OOM configurations become points with ``time_s=None`` (rendered '-'),
-    mirroring how the paper reports infeasible runs.  With
-    ``collect_metrics=True`` every cell runs under a fresh
+    Failed configurations (OOM, crashes) become points with
+    ``time_s=None`` (rendered '-'), mirroring how the paper reports
+    infeasible runs; the failure detail stays on the aligned ``error``
+    record in :attr:`SweepResult.records`.
+
+    ``parallel=N`` fans the grid out to N worker processes with results
+    bit-identical to the serial path.  With ``collect_metrics=True``
+    every cell runs under a fresh
     :class:`~repro.telemetry.MetricsRegistry`; per-cell snapshots and
-    the cross-cell aggregate land on the returned
-    :class:`SweepResult` (see :attr:`SweepResult.metrics`).
+    the cross-cell aggregate land on the returned :class:`SweepResult`
+    (see :attr:`SweepResult.metrics`).  Metrics collection is
+    process-local, so it forces serial execution.  ``seed`` sets the
+    base of the deterministic per-cell seed derivation (LD-GPU itself
+    is deterministic; the seed matters for randomised algorithms run
+    through :func:`sweep_cells` grids).
     """
-    from contextlib import nullcontext
-
-    result = SweepResult(graph.name)
-    for plat in platforms:
-        for nd in device_counts:
-            if nd > plat.max_devices:
-                continue
-            for nb in batch_counts:
-                if collect_metrics:
-                    from repro.telemetry import (
-                        MetricsRegistry,
-                        record_into,
-                    )
-
-                    registry = MetricsRegistry()
-                    scope = record_into(registry)
-                else:
-                    registry, scope = None, nullcontext()
-                try:
-                    with scope:
-                        r = ld_gpu(graph, plat, num_devices=nd,
-                                   num_batches=nb, collect_stats=False,
-                                   **ld_kwargs)
-                    cfg = r.stats["config"]
-                    result.points.append(SweepPoint(
-                        plat.name, nd, cfg.num_batches, r.sim_time,
-                        r.iterations,
-                        r.timeline.communication_fraction(),
-                    ))
-                except DeviceOOMError:
-                    result.points.append(SweepPoint(
-                        plat.name, nd, nb, None, None, None,
-                    ))
-                if registry is not None:
-                    result.cell_snapshots.append(registry.snapshot())
+    cells = sweep_cells(platforms, device_counts, batch_counts,
+                        collect_stats=False, **ld_kwargs)
+    sink = None
     if collect_metrics:
-        from repro.telemetry import aggregate_snapshots
+        from repro.engine.sinks import MetricsSink
 
+        if parallel:
+            import warnings
+
+            warnings.warn(
+                "collect_metrics runs the sweep serially: metric "
+                "registries are process-local and cannot report back "
+                "from parallel workers",
+                RuntimeWarning, stacklevel=2,
+            )
+            parallel = 0
+        sink = MetricsSink()
+        ctx = RunContext(seed=seed, sinks=(sink,))
+    else:
+        ctx = RunContext(seed=seed)
+
+    records = run_cells(cells, ctx, graph=graph, parallel=parallel)
+
+    result = SweepResult(graph.name, records=records)
+    for cell, record in zip(cells, records):
+        result.points.append(_point_for(cell, record))
+
+    if collect_metrics:
+        from repro.telemetry import MetricsRegistry, aggregate_snapshots
+
+        ok_snapshots = iter(sink.snapshots)
+        for record in records:
+            result.cell_snapshots.append(
+                next(ok_snapshots) if record.ok
+                else MetricsRegistry().snapshot()
+            )
         result.metrics = aggregate_snapshots(result.cell_snapshots)
     return result

@@ -94,12 +94,20 @@ def build_manifest(
     sim_platform: str | None = None,
     wall_time_s: float | None = None,
     sim_time_s: float | None = None,
+    dataset_cache: str | None = None,
     **extra: Any,
 ) -> dict[str, Any]:
     """The provenance manifest attached to every run record.
 
     All inputs are optional; absent facts serialise as ``None`` so the
     key set is stable across producers (CLI runs, sweeps, tests).
+    ``dataset_cache`` names the on-disk
+    :class:`~repro.harness.cache.GraphCache` root when input graphs
+    were staged through it (parallel grids, bench suites) — ``None``
+    means graphs were built in-process.  Cache entries are keyed by the
+    same :func:`graph_fingerprint` recorded here as
+    ``dataset_fingerprint``, so the manifest pins the exact bytes a
+    cached run consumed.
     """
     import numpy as np
 
@@ -116,6 +124,7 @@ def build_manifest(
         "seed": seed,
         "wall_time_s": wall_time_s,
         "sim_time_s": sim_time_s,
+        "dataset_cache": dataset_cache,
     }
     manifest.update(extra)
     return manifest

@@ -60,8 +60,10 @@ class TestRegistry:
 
     def test_capability_tags(self):
         assert "simulator_backed" in get_spec("ld_gpu").capability_tags
-        assert get_spec("blossom").capability_tags == ("exact",)
+        assert get_spec("blossom").capability_tags \
+            == ("exact", "parallel-safe")
         assert "approx_ratio=2/3" in get_spec("two_thirds").capability_tags
+        assert "parallel-safe" in get_spec("ld_gpu").capability_tags
 
     def test_specs_sorted(self):
         assert [s.name for s in algorithm_specs()] == ALL_NAMES
@@ -205,11 +207,14 @@ class TestRunRecordSerialisation:
 
     def test_json_values_plain(self, medium_graph):
         doc = json.loads(self._record(medium_graph).to_json())
-        assert doc["schema"] == 2
+        assert doc["schema"] == 3
         assert isinstance(doc["weight"], float)
         assert isinstance(doc["timeline_totals"], dict)
         assert doc["capability_tags"] == ["simulator_backed",
-                                          "approx_ratio=1/2"]
+                                          "approx_ratio=1/2",
+                                          "parallel-safe"]
+        assert doc["status"] == "ok"
+        assert doc["error"] is None
 
     def test_newer_schema_rejected(self):
         with pytest.raises(ValueError, match="schema"):

@@ -290,7 +290,7 @@ class TestMetricsSink:
         assert record.provenance["dataset_fingerprint"] == \
             graph_fingerprint(medium_graph)
         doc = json.loads(record.to_json())
-        assert doc["schema"] == 2
+        assert doc["schema"] == 3
         assert doc["provenance"]["numpy"] == np.__version__
 
     def test_per_run_registries_are_isolated(self, medium_graph):
