@@ -97,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--seed", type=int, default=None,
                         help="base RNG seed for randomised algorithms "
                              "(grids derive per-cell seeds from it)")
+    from repro.matching.pointer_index import POINTING_ENGINES
+
+    common.add_argument("--pointing-engine", choices=POINTING_ENGINES,
+                        default=None, dest="pointing_engine",
+                        help="host pointing engine for the locally "
+                             "dominant algorithms: 'index' (sorted-"
+                             "adjacency cursors, amortised O(m)) or "
+                             "'segment' (per-round segmented arg-max); "
+                             "default follows REPRO_POINTING_ENGINE, "
+                             "then 'index'.  Bit-identical matchings "
+                             "either way")
     common.add_argument("--json", action="store_true",
                         help="machine-readable JSON instead of the "
                              "human-readable rendering")
@@ -215,6 +226,12 @@ def _cmd_run(parser: argparse.ArgumentParser,
              args: argparse.Namespace) -> int:
     devices = _single(parser, args.devices, "--devices", 1)
     batches = _single(parser, args.batches, "--batches", None)
+    if args.pointing_engine is not None:
+        from repro.engine import get_spec
+
+        if not get_spec(args.algorithm).accepts_pointing_engine:
+            parser.error(f"--pointing-engine does not apply to "
+                         f"algorithm '{args.algorithm}'")
     g = quality_instance(args.dataset) if args.quality \
         else load_dataset(args.dataset)
     sinks: list = []
@@ -230,6 +247,7 @@ def _cmd_run(parser: argparse.ArgumentParser,
         num_devices=devices,
         num_batches=batches,
         seed=args.seed,
+        pointing_engine=args.pointing_engine,
         sinks=tuple(sinks),
     )
     if args.platform is not None:
@@ -272,11 +290,14 @@ def _cmd_sweep(parser: argparse.ArgumentParser,
     g = load_dataset(args.dataset)
     devices = tuple(args.devices) if args.devices else (1, 2, 4, 8)
     batches = tuple(args.batches) if args.batches else (None,)
+    ld_kwargs = {}
+    if args.pointing_engine is not None:
+        ld_kwargs["engine"] = args.pointing_engine
     result = sweep_ld_gpu(
         g, platforms=(platform,), device_counts=devices,
         batch_counts=batches, parallel=args.parallel,
         collect_metrics=args.metrics_out is not None,
-        seed=args.seed,
+        seed=args.seed, **ld_kwargs,
     )
     if args.metrics_out:
         from repro.telemetry import write_metrics
@@ -315,7 +336,8 @@ def _cmd_bench(parser: argparse.ArgumentParser,
                args: argparse.Namespace) -> int:
     _reject_flags(parser, args, "bench", platform="--platform",
                   devices="--devices", batches="--batches",
-                  seed="--seed", metrics_out="--metrics-out")
+                  seed="--seed", metrics_out="--metrics-out",
+                  pointing_engine="--pointing-engine")
     from repro.harness.bench import (
         bench_report_path,
         compare_reports,
@@ -372,7 +394,8 @@ def _cmd_stats(parser: argparse.ArgumentParser,
     output)."""
     _reject_flags(parser, args, "stats", platform="--platform",
                   devices="--devices", batches="--batches",
-                  seed="--seed", metrics_out="--metrics-out")
+                  seed="--seed", metrics_out="--metrics-out",
+                  pointing_engine="--pointing-engine")
     import numpy as np
 
     from repro.engine import RunRecord
@@ -394,6 +417,16 @@ def _cmd_stats(parser: argparse.ArgumentParser,
                    if c not in ("pointing", "matching"))
         doc["communication_fraction"] = comm / t if t else 0.0
     scanned = record.extra.get("edges_scanned")
+    host_scanned = record.extra.get("host_entries_scanned")
+    if host_scanned is not None:
+        modeled = int(sum(scanned)) if scanned else None
+        doc["pointing"] = {
+            "engine": record.extra.get("pointing_engine"),
+            "host_entries_scanned": int(host_scanned),
+            "modeled_edges_scanned": modeled,
+            "host_fraction_of_modeled":
+                host_scanned / modeled if modeled else None,
+        }
     if scanned and record.num_directed_edges:
         frac = edges_accessed_fraction(np.asarray(scanned),
                                        record.num_directed_edges)
@@ -444,6 +477,16 @@ def _cmd_stats(parser: argparse.ArgumentParser,
     else:
         print("no edges_scanned series — run with collect_stats "
               "(the default) to record Fig. 8 statistics")
+
+    if "pointing" in doc:
+        pt = doc["pointing"]
+        line = (f"pointing engine '{pt['engine']}': "
+                f"{pt['host_entries_scanned']} adjacency entries "
+                f"examined on the host")
+        if pt["modeled_edges_scanned"]:
+            line += (f" vs {pt['modeled_edges_scanned']} modeled "
+                     f"({100.0 * pt['host_fraction_of_modeled']:.1f}%)")
+        print(line)
     return EXIT_OK
 
 

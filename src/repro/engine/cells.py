@@ -63,8 +63,16 @@ class Cell:
     dataset:
         Registry dataset whose analog (or, with ``quality=True``, whose
         blossom-tractable quality instance) is the input graph.  Cells
-        without a dataset use the shared ``graph`` passed to
-        :func:`run_cells`.
+        without a dataset use ``build`` when set, else the shared
+        ``graph`` passed to :func:`run_cells`.
+    build:
+        Zero-argument callable producing the input graph, for cells
+        whose graph is not a registry dataset (benchmark stress graphs,
+        ad-hoc experiments).  Must be a module-level function (or
+        otherwise picklable) for ``parallel=N`` runs, and deterministic
+        — the parallel path builds it once per distinct callable and
+        stages it through the graph cache.  Ignored when ``dataset``
+        is set.
     ctx:
         Full per-cell context; ``None`` uses :func:`run_cells`'s base
         context.  Use this when cells span datasets/platforms.
@@ -87,6 +95,7 @@ class Cell:
     algorithm: Any = "ld_gpu"
     dataset: str | None = None
     quality: bool = False
+    build: Any = field(default=None, repr=False)
     ctx: RunContext | None = None
     config: dict[str, Any] = field(default_factory=dict)
     overrides: dict[str, Any] = field(default_factory=dict)
@@ -210,10 +219,12 @@ def _resolve_graph(cell: Cell, shared: "CSRGraph | None") -> "CSRGraph":
 
         return quality_instance(cell.dataset) if cell.quality \
             else load_dataset(cell.dataset)
+    if cell.build is not None:
+        return cell.build()
     if shared is None:
         raise ValueError(
-            f"cell {cell.algorithm_name!r} names no dataset and "
-            "run_cells received no graph"
+            f"cell {cell.algorithm_name!r} names no dataset or builder "
+            "and run_cells received no graph"
         )
     return shared
 

@@ -108,6 +108,12 @@ def execute(
     scanned = result.stats.get("edges_scanned")
     if scanned is not None:
         extra["edges_scanned"] = _coerce(scanned)
+    # Pointing-engine diagnostics (modeled vs. actual host work) ride
+    # along too, so stored records can report the index engine's saving.
+    for key in ("pointing_engine", "host_entries_scanned"):
+        val = result.stats.get(key)
+        if val is not None:
+            extra[key] = _coerce(val)
     config = _normalise_config(result)
     if config is not None:
         extra["config"] = config

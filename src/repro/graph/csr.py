@@ -54,6 +54,16 @@ class CSRGraph:
     indices: np.ndarray
     weights: np.ndarray
     name: str = field(default="graph")
+    # Derived-array memos (degrees / canonical edge ids are recomputed by
+    # nearly every algorithm; suitor alone used to derive the edge ids
+    # twice per run).  Both are exposed read-only so a cached array can
+    # never be silently corrupted by a caller.
+    _degrees: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _canonical_eids: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -108,8 +118,12 @@ class CSRGraph:
 
     @property
     def degrees(self) -> np.ndarray:
-        """Per-vertex degree array (``int64``)."""
-        return np.diff(self.indptr)
+        """Per-vertex degree array (``int64``; cached, read-only)."""
+        if self._degrees is None:
+            d = np.diff(self.indptr)
+            d.setflags(write=False)
+            self._degrees = d
+        return self._degrees
 
     @property
     def max_degree(self) -> int:
@@ -189,13 +203,19 @@ class CSRGraph:
         ``eid({u, v}) = min(u, v) * n + max(u, v)`` — identical from both
         endpoints, so it serves as the deterministic tie-breaking key the
         locally dominant algorithms need to guarantee progress on weight
-        ties (DESIGN.md §5).  Exact for ``n^2 < 2^63``.
+        ties (DESIGN.md §5).  Exact for ``n^2 < 2^63``.  Cached on first
+        access (read-only): the O(m) derivation used to be repeated per
+        algorithm call.
         """
-        n = self.num_vertices
-        rows = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
-        lo = np.minimum(rows, self.indices)
-        hi = np.maximum(rows, self.indices)
-        return lo * np.int64(n) + hi
+        if self._canonical_eids is None:
+            n = self.num_vertices
+            rows = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
+            lo = np.minimum(rows, self.indices)
+            hi = np.maximum(rows, self.indices)
+            eids = lo * np.int64(n) + hi
+            eids.setflags(write=False)
+            self._canonical_eids = eids
+        return self._canonical_eids
 
     # ------------------------------------------------------------------ #
     # validation / transforms

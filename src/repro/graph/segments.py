@@ -148,6 +148,17 @@ def gather_rows(
     paper measures in Fig. 8.
     """
     rows = np.asarray(rows, dtype=np.int64)
+    k = len(rows)
+    if k and rows[-1] - rows[0] == k - 1 and \
+            (k == 1 or bool((np.diff(rows) == 1).all())):
+        # Contiguous ascending range (e.g. the iteration-0 frontier
+        # ``arange(n)``): the positions are one contiguous slice, so the
+        # repeat-based O(m) construction below collapses to an arange.
+        r0 = int(rows[0])
+        sub_indptr = indptr[r0 : r0 + k + 1] - indptr[r0]
+        positions = np.arange(int(indptr[r0]), int(indptr[r0 + k]),
+                              dtype=np.int64)
+        return sub_indptr, positions
     lengths = indptr[rows + 1] - indptr[rows]
     sub_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
     np.cumsum(lengths, out=sub_indptr[1:])

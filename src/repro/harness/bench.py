@@ -42,27 +42,89 @@ BENCH_SCHEMA_VERSION = 1
 
 @dataclass(frozen=True)
 class Workload:
-    """One benchmarked configuration (fixed algorithm/dataset/config)."""
+    """One benchmarked configuration (fixed algorithm/dataset/config).
+
+    The input graph is either a registry ``dataset`` (the default) or,
+    for stress workloads with no registry analog, a module-level
+    ``build`` callable (see :class:`~repro.engine.cells.Cell`).
+    """
 
     name: str
     algorithm: str
-    dataset: str
+    dataset: str | None = None
     quality: bool = True
     config: dict[str, Any] = field(default_factory=dict)
     overrides: dict[str, Any] = field(default_factory=dict)
+    build: Any = field(default=None, repr=False)
 
     def cell(self) -> Cell:
         return Cell(self.algorithm, dataset=self.dataset,
-                    quality=self.quality, config=dict(self.config),
+                    quality=self.quality, build=self.build,
+                    config=dict(self.config),
                     overrides=dict(self.overrides),
                     label=self.name)
+
+
+# ------------------------------------------------------------------ #
+# pointing stress graphs
+# ------------------------------------------------------------------ #
+#
+# The ``pointing`` suite measures the two pointing engines
+# (:mod:`repro.matching.pointer_index`) where their costs actually
+# diverge.  The registry analogs converge in <= 10 rounds with a
+# geometrically shrinking frontier, so total segment re-scanning is only
+# ~1.7x |E| and the index engine's one-time sorted-adjacency build
+# dominates.  Pointing-dominated instances are the tie-heavy ones: with
+# equal weights the (weight, eid) tiebreak serialises locally dominant
+# matching — a clique matches one pair per round (k/2 rounds over a
+# full-size frontier, Theta(k^3) segment re-scanning vs the index
+# engine's amortised O(k^2)) and a path matches right-to-left (n/2
+# rounds dominated by per-round overhead).  Module-level zero-argument
+# builders so ``parallel=N`` can pickle them by reference.
+
+
+def _tie_clique(k: int, name: str):
+    import numpy as np
+
+    from repro.graph.builders import from_coo
+
+    u, v = np.triu_indices(k, 1)
+    return from_coo(u, v, np.ones(len(u)), num_vertices=k, name=name)
+
+
+def tie_clique_500():
+    """K_500, all weights equal: 250 pointing rounds, full frontier."""
+    return _tie_clique(500, "tie-clique-500")
+
+
+def tie_clique_300():
+    """K_300, all weights equal (LD-GPU sized: fits 2 devices x 2
+    batches without streaming)."""
+    return _tie_clique(300, "tie-clique-300")
+
+
+def tie_path_6000():
+    """P_6000, all weights equal: one match per round, tiny frontier —
+    isolates per-round pointing overhead."""
+    import numpy as np
+
+    from repro.graph.builders import from_coo
+
+    u = np.arange(5999)
+    return from_coo(u, u + 1, np.ones(5999), num_vertices=6000,
+                    name="tie-path-6000")
 
 
 #: Benchmark suites.  ``smoke`` runs on the tiny blossom-tractable
 #: quality instances so the whole suite (x repeats) costs seconds —
 #: small enough for a per-push CI gate while still crossing every
 #: interesting code path: multi-device LD-GPU, forced batching, both
-#: suitor baselines and a sequential reference.
+#: suitor baselines and a sequential reference.  ``pointing`` pits the
+#: two pointing engines against each other: tie-heavy stress graphs
+#: (where re-pointing dominates and the index engine wins on wall
+#: time) plus one full-size analog pair recording the build-dominated
+#: regime honestly; sim_time stays the gated metric and is engine-
+#: independent by construction.
 SUITES: dict[str, tuple[Workload, ...]] = {
     "smoke": (
         Workload("ld_gpu-1dev", "ld_gpu", "GAP-kron",
@@ -78,6 +140,34 @@ SUITES: dict[str, tuple[Workload, ...]] = {
         Workload("sr_gpu", "sr_gpu", "GAP-kron"),
         Workload("sr_omp", "sr_omp", "mouse_gene"),
         Workload("ld_seq", "ld_seq", "mouse_gene"),
+    ),
+    "pointing": (
+        Workload("ld_seq-tie-clique-index", "ld_seq",
+                 build=tie_clique_500, quality=False,
+                 overrides={"engine": "index"}),
+        Workload("ld_seq-tie-clique-segment", "ld_seq",
+                 build=tie_clique_500, quality=False,
+                 overrides={"engine": "segment"}),
+        Workload("ld_seq-tie-path-index", "ld_seq",
+                 build=tie_path_6000, quality=False,
+                 overrides={"engine": "index"}),
+        Workload("ld_seq-tie-path-segment", "ld_seq",
+                 build=tie_path_6000, quality=False,
+                 overrides={"engine": "segment"}),
+        Workload("ld_gpu-tie-clique-index", "ld_gpu",
+                 build=tie_clique_300, quality=False,
+                 config={"num_devices": 2, "num_batches": 2},
+                 overrides={"engine": "index",
+                            "collect_stats": False}),
+        Workload("ld_gpu-tie-clique-segment", "ld_gpu",
+                 build=tie_clique_300, quality=False,
+                 config={"num_devices": 2, "num_batches": 2},
+                 overrides={"engine": "segment",
+                            "collect_stats": False}),
+        Workload("ld_seq-GAP-kron-index", "ld_seq", "GAP-kron",
+                 quality=False, overrides={"engine": "index"}),
+        Workload("ld_seq-GAP-kron-segment", "ld_seq", "GAP-kron",
+                 quality=False, overrides={"engine": "segment"}),
     ),
 }
 

@@ -92,8 +92,10 @@ def _worker_run(payload: tuple[MaterialisedCell, _GraphRef, str]
     return mc.index, run_materialised_cell(mc, graph, on_error)
 
 
-def _graph_key(mc: MaterialisedCell) -> tuple[str | None, bool]:
-    return (mc.cell.dataset, mc.cell.quality)
+def _graph_key(mc: MaterialisedCell) -> tuple:
+    # Builder cells dedup on the callable's identity: same function
+    # object -> same (deterministic) graph, built once per grid.
+    return (mc.cell.dataset, mc.cell.quality, mc.cell.build)
 
 
 def _resolve_parent_graph(mc: MaterialisedCell,
@@ -105,10 +107,12 @@ def _resolve_parent_graph(mc: MaterialisedCell,
 
         return quality_instance(cell.dataset) if cell.quality \
             else load_dataset(cell.dataset)
+    if cell.build is not None:
+        return cell.build()
     if shared is None:
         raise ValueError(
-            f"cell {cell.algorithm_name!r} names no dataset and "
-            "run_cells received no graph"
+            f"cell {cell.algorithm_name!r} names no dataset or builder "
+            "and run_cells received no graph"
         )
     return shared
 

@@ -24,6 +24,10 @@ from repro.matching.validate import (
     matched_edge_count,
     verify_result,
 )
+from repro.matching.pointer_index import (
+    PointerIndex,
+    resolve_pointing_engine,
+)
 from repro.matching.ld_seq import ld_seq
 from repro.matching.ld_gpu import ld_gpu
 from repro.matching.ld_multinode import ld_multinode
@@ -53,6 +57,8 @@ __all__ = [
     "matching_weight",
     "matched_edge_count",
     "verify_result",
+    "PointerIndex",
+    "resolve_pointing_engine",
     "ld_seq",
     "ld_gpu",
     "ld_multinode",

@@ -43,6 +43,12 @@ from repro.gpusim.spec import DGX_A100, PlatformSpec
 from repro.gpusim.stream import dual_buffer_schedule
 from repro.gpusim.timeline import Timeline
 from repro.matching.ld_seq import compute_pointers, find_mutual_pairs
+from repro.matching.pointer_index import (
+    HOST_SCAN_COUNTER,
+    HOST_SCAN_HELP,
+    PointerIndex,
+    resolve_pointing_engine,
+)
 from repro.matching.types import UNMATCHED, MatchResult
 from repro.matching.validate import matching_weight
 from repro.partition.batch import BatchPlan, auto_batch_count, plan_batches
@@ -50,7 +56,7 @@ from repro.partition.vertex import (
     edge_balanced_partition,
     vertex_balanced_partition,
 )
-from repro.telemetry.spans import SpanEmitter, observe
+from repro.telemetry.spans import SpanEmitter, count, observe
 from repro.graph.csr import CSRGraph
 
 __all__ = ["ld_gpu", "LdGpuRun"]
@@ -71,6 +77,10 @@ class _DevicePartition:
     plan: BatchPlan
     pointers: np.ndarray
     mate: np.ndarray
+    #: Sorted-adjacency pointer index (``engine="index"``), built once
+    #: per run for this partition's row range (keyed by ``start`` as the
+    #: row offset); ``None`` under the segment engine.
+    index: PointerIndex | None = None
 
     @property
     def num_vertices(self) -> int:
@@ -85,6 +95,7 @@ class LdGpuRun:
     num_devices: int
     num_batches: int
     vertices_per_warp: int
+    pointing_engine: str = "index"
 
 
 def _setup_devices(
@@ -196,6 +207,7 @@ def ld_gpu(
     force_streaming: bool = False,
     partition: str = "edge",
     allreduce=None,
+    engine: str | None = None,
 ) -> MatchResult:
     """Run LD-GPU on ``num_devices`` simulated GPUs of ``platform``.
 
@@ -222,6 +234,16 @@ def ld_gpu(
         the per-device arrays in place (default: NCCL ring over
         ``platform.gpu_link``).  The multi-node extension injects a
         hierarchical NVLink+InfiniBand collective here.
+    engine:
+        Host-side pointing engine: ``"index"`` builds one
+        :class:`~repro.matching.pointer_index.PointerIndex` per device
+        partition (sorted adjacency + cursors, amortized O(m) host
+        work) while ``"segment"`` re-scans via
+        :func:`~repro.matching.ld_seq.compute_pointers` (the reference
+        oracle).  ``None`` consults ``REPRO_POINTING_ENGINE``
+        (default ``"index"``).  ``mate``, ``edges_scanned`` and
+        ``sim_time`` are bit-identical across engines — the choice only
+        moves actual host work (``stats["host_entries_scanned"]``).
 
     Returns
     -------
@@ -236,6 +258,7 @@ def ld_gpu(
         raise ValueError(
             f"{platform.name} has only {platform.max_devices} devices"
         )
+    engine = resolve_pointing_engine(engine)
     n = graph.num_vertices
     spec = platform.device
     parts = _setup_devices(graph, platform, num_devices, num_batches,
@@ -247,6 +270,16 @@ def ld_gpu(
             return allreduce_max(buffers, platform.gpu_link)
 
     eids = graph.canonical_edge_ids()
+    if engine == "index":
+        # One sorted-adjacency index per device partition, keyed by its
+        # row offset: built once per run, reused across iterations and
+        # batches (§III-B's monotone availability makes cursors safe).
+        for p in parts:
+            base = int(graph.indptr[p.start])
+            p.index = PointerIndex(
+                p.local_indptr, graph.indices[base:],
+                graph.weights[base:], eids[base:], row_offset=p.start,
+            )
     timeline = Timeline()
     # Component spans feed the timeline AND (when a metrics registry is
     # active, e.g. under the engine's MetricsSink) the telemetry
@@ -265,6 +298,7 @@ def ld_gpu(
 
     iterations = 0
     initial_transfer = 0.0
+    host_scanned = 0
     degrees = graph.degrees
     while max_iterations is None or iterations < max_iterations:
         timeline.begin_iteration()
@@ -273,6 +307,7 @@ def ld_gpu(
         makespans = []
         computes = []
         iter_scanned = 0
+        iter_host = 0
         occ_accum = 0.0
         occ_weight = 0.0
         w_tot = w_max = 0
@@ -328,12 +363,19 @@ def ld_gpu(
                 w_sumsq += (ws.std_work**2 + ws.mean_work**2) * ws.num_warps
                 w_warps += ws.num_warps
                 # Exact arithmetic for this batch's frontier slice.
-                iter_scanned += compute_pointers(
-                    p.local_indptr, graph.indices[graph.indptr[p.start]:],
-                    graph.weights[graph.indptr[p.start]:],
-                    eids[graph.indptr[p.start]:],
-                    mate_g, p.pointers, sel, row_offset=p.start,
-                )
+                if p.index is not None:
+                    iter_scanned += p.index.point(mate_g, p.pointers, sel)
+                    iter_host += p.index.last_host_scanned
+                else:
+                    scanned = compute_pointers(
+                        p.local_indptr,
+                        graph.indices[graph.indptr[p.start]:],
+                        graph.weights[graph.indptr[p.start]:],
+                        eids[graph.indptr[p.start]:],
+                        mate_g, p.pointers, sel, row_offset=p.start,
+                    )
+                    iter_scanned += scanned
+                    iter_host += scanned
             pipe = dual_buffer_schedule(load_times, comp_times)
             makespans.append(pipe.makespan)
             computes.append(pipe.compute_time)
@@ -341,6 +383,9 @@ def ld_gpu(
         t_comp = max(computes) if computes else 0.0
         tel.emit("pointing", t_comp)
         tel.emit("batch_transfer", max(0.0, t_point - t_comp))
+        host_scanned += iter_host
+        count(HOST_SCAN_COUNTER, iter_host, HOST_SCAN_HELP,
+              algorithm="ld_gpu", engine=engine, device=spec.name)
 
         # ---------------- allreduce(pointers) -------------------------- #
         # Each device contributes only its owned vertex range; everything
@@ -413,7 +458,9 @@ def ld_gpu(
     weight = matching_weight(graph, mate_g)
     stats: dict = {
         "config": LdGpuRun(platform.name, num_devices, nb,
-                           vertices_per_warp),
+                           vertices_per_warp, engine),
+        "pointing_engine": engine,
+        "host_entries_scanned": host_scanned,
         "initial_transfer_s": initial_transfer,
         "device_peak_bytes": [p.device.memory.peak for p in parts],
         "partition_offsets": np.array(
@@ -448,4 +495,5 @@ register(AlgorithmSpec(
     needs_batches=True,
     simulator_backed=True,
     approx_ratio="1/2",
+    accepts_pointing_engine=True,
 ))
