@@ -1,21 +1,23 @@
 """Command-line interface.
 
-Six subcommands::
+Eight subcommands::
 
     repro-matching run --algorithm ld_gpu --dataset GAP-kron --devices 4
     repro-matching sweep --dataset GAP-kron --devices 1 2 4 8 --parallel 4
     repro-matching bench --suite smoke --baseline benchmarks/baseline_smoke.json
     repro-matching experiment table1 [--quick] [--parallel N]
     repro-matching stats record.json
+    repro-matching store ls|show FP|resume|export|gc [--store PATH]
+    repro-matching cache ls|clear|evict
     repro-matching list [datasets|algorithms|experiments]
 
 ``run``/``sweep``/``bench``/``stats`` share one parent parser, so the
 common flags — ``--platform``, ``--devices/-n``, ``--batches/-b``,
-``--seed``, ``--json``, ``--metrics-out`` — spell and behave the same
-everywhere they apply (a flag that cannot apply to a subcommand is a
-usage error, not silently ignored).  Exit codes are uniform: **0**
-success, **1** runtime failure or benchmark regression, **2** usage
-error (argparse's own convention).
+``--seed``, ``--json``, ``--metrics-out``, ``--store`` — spell and
+behave the same everywhere they apply (a flag that cannot apply to a
+subcommand is a usage error, not silently ignored).  Exit codes are
+uniform: **0** success, **1** runtime failure or benchmark regression,
+**2** usage error (argparse's own convention).
 
 ``run`` executes one algorithm on one dataset analog through the
 :mod:`repro.engine` registry; ``sweep`` maps an LD-GPU configuration
@@ -24,8 +26,13 @@ fans it out over worker processes, bit-identical to serial);
 ``bench`` runs a fixed workload suite, writes ``BENCH_<suite>.json``
 and gates against a committed baseline; ``experiment`` regenerates a
 paper table/figure; ``stats`` prints the paper-claim metrics of a
-stored RunRecord; ``list algorithms`` includes each algorithm's
-capability tags (``parallel-safe``/``serial-only`` among them).
+stored RunRecord; ``store`` inspects, resumes and maintains the
+persistent run store (``--store PATH`` / ``REPRO_RUN_STORE`` on
+``run``/``sweep``/``bench`` make those commands record into — and
+serve finished cells from — the same store); ``cache`` inspects the
+on-disk graph cache (``REPRO_GRAPH_CACHE*``); ``list algorithms``
+includes each algorithm's capability tags
+(``parallel-safe``/``serial-only`` among them).
 """
 
 from __future__ import annotations
@@ -115,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="export telemetry; .prom writes Prometheus "
                              "text, anything else a JSON metrics "
                              "document")
+    common.add_argument("--store", metavar="PATH", default=None,
+                        help="persistent run store (SQLite): finished "
+                             "cells are served from it with zero "
+                             "recompute and every new record is "
+                             "persisted; default $REPRO_RUN_STORE "
+                             "when set, else no store")
 
     p = argparse.ArgumentParser(
         prog="repro-matching",
@@ -191,6 +204,74 @@ def build_parser() -> argparse.ArgumentParser:
                            "experiments (ignored by the others)")
     expp.add_argument("--json", action="store_true",
                       help="print the table as a JSON document")
+    expp.add_argument("--store", metavar="PATH", default=None,
+                      help="run store for grid-shaped experiments "
+                           "(ignored by the others); default "
+                           "$REPRO_RUN_STORE")
+
+    # store: inspect/resume the persistent run store.  --store rides on
+    # each action (after the action word) via a tiny parent parser.
+    storecommon = argparse.ArgumentParser(add_help=False)
+    storecommon.add_argument("--store", metavar="PATH", default=None,
+                             help="store database path (default "
+                                  "$REPRO_RUN_STORE)")
+    storep = sub.add_parser(
+        "store",
+        help="inspect, resume and maintain the persistent run store",
+    )
+    ssub = storep.add_subparsers(dest="store_action", required=True)
+    sls = ssub.add_parser("ls", parents=[storecommon],
+                          help="list stored cells and their lifecycle "
+                               "status")
+    sls.add_argument("--status", default=None,
+                     choices=["pending", "leased", "done", "error"],
+                     help="only cells in this state")
+    sls.add_argument("--json", action="store_true",
+                     help="machine-readable JSON")
+    sshow = ssub.add_parser("show", parents=[storecommon],
+                            help="full config + stored record of one "
+                                 "cell")
+    sshow.add_argument("fingerprint", metavar="FINGERPRINT",
+                       help="cell fingerprint (unique prefix accepted; "
+                            "the 'cell:' prefix may be omitted)")
+    sresume = ssub.add_parser(
+        "resume", parents=[storecommon],
+        help="re-run every pending/failed/stale cell; finished cells "
+             "are never recomputed",
+    )
+    sresume.add_argument("--parallel", type=int, default=0, metavar="N",
+                         help="worker processes for the resumed cells")
+    sexport = ssub.add_parser("export", parents=[storecommon],
+                              help="dump the whole store as JSON")
+    sexport.add_argument("--json", action="store_true",
+                         help="accepted for symmetry; export is always "
+                              "JSON")
+    sexport.add_argument("--out", metavar="PATH", default=None,
+                         help="write to PATH instead of stdout")
+    sgc = ssub.add_parser("gc", parents=[storecommon],
+                          help="reclaim stale leases (and optionally "
+                               "drop error rows)")
+    sgc.add_argument("--prune-errors", action="store_true",
+                     help="delete error rows so their cells re-register "
+                          "from scratch")
+
+    cachep = sub.add_parser(
+        "cache",
+        help="inspect the on-disk graph cache (REPRO_GRAPH_CACHE*)",
+    )
+    csub = cachep.add_subparsers(dest="cache_action", required=True)
+    cls_ = csub.add_parser("ls", help="list cached graph snapshots")
+    cls_.add_argument("--json", action="store_true",
+                      help="machine-readable JSON")
+    csub.add_parser("clear", help="remove every cached snapshot")
+    cevict = csub.add_parser(
+        "evict",
+        help="drop oldest-used snapshots beyond the entry budget",
+    )
+    cevict.add_argument("--max-entries", type=int, default=None,
+                        metavar="N",
+                        help="keep at most N snapshots (default "
+                             "$REPRO_GRAPH_CACHE_ENTRIES, else 64)")
 
     listp = sub.add_parser("list", help="list registered entities")
     listp.add_argument("what", choices=["datasets", "algorithms",
@@ -209,6 +290,14 @@ def _reject_flags(parser: argparse.ArgumentParser,
     for attr, flag in flags.items():
         if getattr(args, attr) not in (None, False):
             parser.error(f"{flag} does not apply to '{command}'")
+
+
+def _store_from(args: argparse.Namespace):
+    """The :class:`~repro.store.db.RunStore` named by ``--store`` or
+    ``REPRO_RUN_STORE`` (None when neither is set)."""
+    from repro.store import resolve_store
+
+    return resolve_store(getattr(args, "store", None))
 
 
 def _single(parser: argparse.ArgumentParser, values: list | None,
@@ -253,32 +342,62 @@ def _cmd_run(parser: argparse.ArgumentParser,
     if args.platform is not None:
         ctx_kwargs["platform"] = PLATFORMS[args.platform]
     ctx = RunContext.for_dataset(args.dataset, **ctx_kwargs)
-    record = execute(args.algorithm, g, ctx)
-    if metrics_sink is not None:
+    store = _store_from(args)
+    if store is not None:
+        # Through the store: a previously stored run is served without
+        # recompute (its record is bit-identical to a fresh one, minus
+        # the never-serialised in-memory result).
+        from repro.engine.cells import Cell, run_cells
+
+        cell = Cell(args.algorithm, dataset=args.dataset,
+                    quality=args.quality, ctx=ctx)
+        record = run_cells([cell], store=store, on_error="raise")[0]
+    else:
+        record = execute(args.algorithm, g, ctx)
+    fmt = None
+    if metrics_sink is not None and \
+            metrics_sink.last_snapshot is not None:
         from repro.telemetry import write_metrics
 
         fmt = write_metrics(args.metrics_out,
                             metrics_sink.last_snapshot, record)
     if args.json:
-        print(record.to_json(indent=1))
+        print(record.to_json(indent=1), end="")
         return EXIT_OK
     result = record.result
     print(f"{g!r}")
-    print(result.summary())
-    if result.timeline is not None:
-        if args.profile:
+    if result is not None:
+        print(result.summary())
+    else:
+        bits = [f"weight={record.weight:.6g}",
+                f"matched_edges={record.matched_edges}",
+                f"iterations={record.iterations}"]
+        if record.sim_time is not None:
+            bits.append(f"sim_time={record.sim_time:.4g}s")
+        print(f"{record.algorithm} (served from store): "
+              + ", ".join(bits))
+    totals = record.timeline_totals
+    if totals:
+        if args.profile and result is not None:
             from repro.gpusim.report import profile_report
 
             print(profile_report(record))
+        elif args.profile:
+            print("per-iteration profile unavailable for store-served "
+                  "records (re-run without --store to collect one)")
         else:
-            frac = result.timeline.fractions()
+            from repro.gpusim.timeline import fractions_from_totals
+
+            frac = fractions_from_totals(totals)
             rows = [[k, 100.0 * v] for k, v in frac.items() if v > 0]
             print(format_table(["component", "% time"], rows,
                                floatfmt=".1f"))
     if trace_sink is not None and trace_sink.saved_paths:
         print(f"trace written to {trace_sink.saved_paths[0]}")
-    if metrics_sink is not None:
+    if fmt is not None:
         print(f"metrics ({fmt}) written to {args.metrics_out}")
+    elif metrics_sink is not None:
+        print("no metrics collected (record served from store)")
     return EXIT_OK
 
 
@@ -297,7 +416,8 @@ def _cmd_sweep(parser: argparse.ArgumentParser,
         g, platforms=(platform,), device_counts=devices,
         batch_counts=batches, parallel=args.parallel,
         collect_metrics=args.metrics_out is not None,
-        seed=args.seed, **ld_kwargs,
+        seed=args.seed, store=_store_from(args),
+        dataset=args.dataset, **ld_kwargs,
     )
     if args.metrics_out:
         from repro.telemetry import write_metrics
@@ -347,7 +467,7 @@ def _cmd_bench(parser: argparse.ArgumentParser,
     )
 
     report = run_bench(args.suite, repeats=args.repeats,
-                       parallel=args.parallel)
+                       parallel=args.parallel, store=_store_from(args))
     out = args.out or bench_report_path(args.suite)
     write_bench_report(report, out)
     if args.json:
@@ -395,7 +515,8 @@ def _cmd_stats(parser: argparse.ArgumentParser,
     _reject_flags(parser, args, "stats", platform="--platform",
                   devices="--devices", batches="--batches",
                   seed="--seed", metrics_out="--metrics-out",
-                  pointing_engine="--pointing-engine")
+                  pointing_engine="--pointing-engine",
+                  store="--store")
     import numpy as np
 
     from repro.engine import RunRecord
@@ -495,14 +616,200 @@ def _cmd_experiment(parser: argparse.ArgumentParser,
     import inspect
 
     fn = EXPERIMENTS[args.name]
+    params = inspect.signature(fn).parameters
     kwargs = {"quick": args.quick}
-    if "parallel" in inspect.signature(fn).parameters:
+    if "parallel" in params:
         kwargs["parallel"] = args.parallel
+    if "store" in params:
+        kwargs["store"] = _store_from(args)
     result = fn(**kwargs)
     if args.json:
         print(json.dumps(result.to_json(), indent=1))
     else:
         print(result.render())
+    return EXIT_OK
+
+
+def _require_store(parser: argparse.ArgumentParser,
+                   args: argparse.Namespace):
+    store = _store_from(args)
+    if store is None:
+        parser.error("no run store: pass --store PATH or set "
+                     "REPRO_RUN_STORE")
+    return store
+
+
+def _cmd_store(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    store = _require_store(parser, args)
+    action = args.store_action
+
+    if action == "ls":
+        runs = store.runs(args.status)
+        if args.json:
+            doc = [{"fingerprint": r.fingerprint,
+                    "algorithm": r.algorithm, "dataset": r.dataset,
+                    "status": r.status, "attempts": r.attempts,
+                    "seed": r.seed, "worker": r.worker}
+                   for r in runs]
+            print(json.dumps(doc, indent=1))
+            return EXIT_OK
+        rows = [[r.fingerprint[:17], r.algorithm, r.dataset or "-",
+                 r.status, r.attempts, r.worker or "-"] for r in runs]
+        print(format_table(
+            ["fingerprint", "algorithm", "dataset", "status",
+             "attempts", "worker"],
+            rows, title=f"run store {store.path}",
+        ))
+        counts = store.counts()
+        print(", ".join(f"{s}: {n}" for s, n in counts.items()))
+        return EXIT_OK
+
+    if action == "show":
+        matches = store.find(args.fingerprint)
+        if not matches:
+            print(f"no stored cell matches {args.fingerprint!r}")
+            return EXIT_FAILURE
+        if len(matches) > 1:
+            print(f"{args.fingerprint!r} is ambiguous "
+                  f"({len(matches)} matches):")
+            for r in matches:
+                print(f"  {r.fingerprint}")
+            return EXIT_FAILURE
+        r = matches[0]
+        doc = {
+            "fingerprint": r.fingerprint,
+            "algorithm": r.algorithm,
+            "dataset": r.dataset,
+            "graph_fingerprint": r.graph_fingerprint,
+            "status": r.status,
+            "attempts": r.attempts,
+            "seed": r.seed,
+            "record_schema": r.record_schema,
+            "worker": r.worker,
+            "error_type": r.error_type,
+            "error_message": r.error_message,
+            "config": r.config,
+            "record": json.loads(r.record_json)
+            if r.record_json is not None else None,
+        }
+        print(json.dumps(doc, indent=1))
+        return EXIT_OK
+
+    if action == "export":
+        doc = store.export()
+        text = json.dumps(doc, indent=1, sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "wt") as fh:
+                fh.write(text)
+            print(f"{doc['counts']['done']} done / "
+                  f"{len(doc['runs'])} cells exported to {args.out}")
+        else:
+            print(text, end="")
+        return EXIT_OK
+
+    if action == "gc":
+        out = store.gc(prune_errors=args.prune_errors)
+        print(f"stale leases reclaimed: {out['stale_reclaimed']}, "
+              f"error rows pruned: {out['errors_pruned']}")
+        return EXIT_OK
+
+    # resume: reclaim dead leases, rebuild every unfinished cell from
+    # its stored config, and run them back through the same store —
+    # cells that finished in the meantime are served, not recomputed.
+    # Cells are grouped by graph source: self-contained cells (own
+    # dataset or builder) run as one batch; cells whose graph was
+    # passed in-process by a ``sweep -d NAME`` run under the dataset
+    # named by their context, reloaded here as the shared graph.
+    from repro.engine.cells import run_cells
+    from repro.store import cell_from_config
+
+    reclaimed = store.reclaim_stale()
+    todo = store.runs(("pending", "error"))
+    groups: dict[str | None, list] = {}
+    skipped = []
+    for row in todo:
+        try:
+            cell = cell_from_config(row.config)
+        except ValueError as exc:
+            skipped.append((row.fingerprint, str(exc)))
+            continue
+        key = None if (cell.dataset or cell.build) \
+            else row.config["ctx_dataset"]
+        groups.setdefault(key, []).append(cell)
+    if reclaimed:
+        print(f"reclaimed {reclaimed} stale lease(s)")
+    if not groups and not skipped:
+        print("nothing to resume: every cell is done")
+        return EXIT_OK
+    records = []
+    for key, cells in groups.items():
+        if key is not None:
+            try:
+                shared = load_dataset(key)
+            except KeyError:
+                skipped.extend(
+                    (f"(ctx dataset {key!r})",
+                     f"unknown context dataset {key!r}")
+                    for _ in cells)
+                continue
+        else:
+            shared = None
+        records.extend(run_cells(cells, graph=shared,
+                                 parallel=args.parallel, store=store))
+    ok = sum(1 for r in records if r.ok)
+    print(f"resumed {len(records)} cell(s): {ok} ok, "
+          f"{len(records) - ok} error")
+    for fp, why in skipped:
+        print(f"cannot resume {fp}: {why}")
+    counts = store.counts()
+    print("store now: " + ", ".join(f"{s}: {n}"
+                                    for s, n in counts.items()))
+    return EXIT_FAILURE if skipped or ok < len(records) else EXIT_OK
+
+
+def _cmd_cache(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    import os
+
+    from repro.harness.cache import GraphCache, cache_disabled
+
+    if cache_disabled():
+        print(f"graph cache is disabled (REPRO_GRAPH_CACHE="
+              f"{os.environ.get('REPRO_GRAPH_CACHE', '')})")
+        return EXIT_FAILURE
+    action = args.cache_action
+    if action == "evict":
+        cache = GraphCache(max_entries=args.max_entries)
+    else:
+        cache = GraphCache()
+
+    if action == "ls":
+        entries = cache.entries()
+        if args.json:
+            doc = [{"path": str(p), "bytes": p.stat().st_size}
+                   for p in entries]
+            print(json.dumps({"root": str(cache.root),
+                              "entries": doc}, indent=1))
+            return EXIT_OK
+        if not entries:
+            print(f"graph cache {cache.root}: empty")
+            return EXIT_OK
+        rows = [[p.name, p.stat().st_size] for p in entries]
+        print(format_table(["snapshot", "bytes"], rows,
+                           title=f"graph cache {cache.root} "
+                                 f"({len(entries)} entries)"))
+        return EXIT_OK
+
+    if action == "clear":
+        n = len(cache.entries())
+        cache.clear()
+        print(f"removed {n} snapshot(s) from {cache.root}")
+        return EXIT_OK
+
+    removed = cache.evict()
+    print(f"evicted {removed} snapshot(s) "
+          f"(keeping at most {cache.max_entries}) from {cache.root}")
     return EXIT_OK
 
 
@@ -538,6 +845,8 @@ _COMMANDS: dict[str, Callable[[argparse.ArgumentParser,
     "bench": _cmd_bench,
     "stats": _cmd_stats,
     "experiment": _cmd_experiment,
+    "store": _cmd_store,
+    "cache": _cmd_cache,
     "list": _cmd_list,
 }
 

@@ -28,6 +28,7 @@ failure-isolated unit (cf. Assadi et al., arXiv:1906.01993) is what the
 from __future__ import annotations
 
 import hashlib
+import time
 import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
@@ -39,16 +40,22 @@ from repro.engine.spec import AlgorithmSpec, get_spec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.csr import CSRGraph
+    from repro.store.db import RunStore
 
 __all__ = [
     "Cell",
     "MaterialisedCell",
     "run_cells",
     "run_materialised_cell",
+    "run_stored_cell",
     "materialise_cells",
     "derive_cell_seed",
     "error_record",
 ]
+
+#: How long a worker sleeps between store polls while another worker
+#: holds the lease on the cell it needs.
+STORE_POLL_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,11 @@ class Cell:
         context has none).
     label:
         Free-form tag recorded in ``RunRecord.extra["label"]``.
+    replicate:
+        Repeat index for deliberate re-measurement of one configuration
+        (bench repeats).  Identical cells share a store fingerprint and
+        the second run would be served from the store; distinct
+        ``replicate`` values keep each repeat addressable on its own.
     """
 
     algorithm: Any = "ld_gpu"
@@ -101,6 +113,7 @@ class Cell:
     overrides: dict[str, Any] = field(default_factory=dict)
     seed: int | None = None
     label: str | None = None
+    replicate: int | None = None
 
     @property
     def algorithm_name(self) -> str:
@@ -161,6 +174,9 @@ def error_record(
     ctx: RunContext,
     graph: "CSRGraph | None",
     exc: BaseException,
+    *,
+    fingerprint: str | None = None,
+    config: dict[str, Any] | None = None,
 ) -> RunRecord:
     """The ``status="error"`` record standing in for a crashed cell.
 
@@ -169,6 +185,12 @@ def error_record(
     type, message and formatted traceback.  ``weight``/``matched_edges``
     are zero, ``sim_time`` is ``None`` — consumers filter on
     ``record.ok``.
+
+    ``fingerprint``/``config`` are the cell's store address and full
+    normalised configuration (:func:`repro.store.fingerprint.
+    fingerprint_for`); when present they land in ``extra`` so the
+    failed cell is *re-addressable* — ``store resume`` rebuilds exactly
+    this cell from the recorded config and re-runs it.
     """
     name = cell.algorithm_name
     try:
@@ -176,6 +198,13 @@ def error_record(
             else get_spec(name)
     except KeyError:
         spec = None
+    extra: dict[str, Any] = {}
+    if cell.label is not None:
+        extra["label"] = cell.label
+    if fingerprint is not None:
+        extra["fingerprint"] = fingerprint
+    if config is not None:
+        extra["cell_config"] = config
     platform = None
     if spec is not None and (spec.needs_platform or spec.needs_device_spec):
         platform = ctx.resolved_platform().name
@@ -207,7 +236,7 @@ def error_record(
             "message": str(exc),
             "traceback": "".join(_traceback.format_exception(exc)),
         },
-        extra={"label": cell.label} if cell.label is not None else {},
+        extra=extra,
     )
 
 
@@ -243,10 +272,70 @@ def run_materialised_cell(mc: MaterialisedCell, graph: "CSRGraph",
     except Exception as exc:
         if on_error == "raise":
             raise
-        return error_record(cell, ctx, graph, exc)
+        fp = config = None
+        try:
+            from repro.store.fingerprint import fingerprint_for
+
+            fp, config, _ = fingerprint_for(cell, ctx, graph)
+        except Exception:
+            pass  # never let fingerprinting mask the real failure
+        return error_record(cell, ctx, graph, exc,
+                            fingerprint=fp, config=config)
     if cell.label is not None:
         record.extra["label"] = cell.label
     return record
+
+
+def run_stored_cell(mc: MaterialisedCell, graph: "CSRGraph",
+                    store: "RunStore", on_error: str = "record",
+                    ) -> RunRecord:
+    """Execute one cell *through* a :class:`~repro.store.db.RunStore`.
+
+    The cell is registered under its content fingerprint, then resolved
+    by a claim-or-wait loop:
+
+    * ``done`` row → the stored record is returned bit-identically
+      (zero recompute; counted as a store hit);
+    * claimable row (``pending``, previous ``error``, or a stale lease
+      left by a dead worker) → this process takes the lease, runs the
+      cell, persists the outcome and returns it;
+    * row leased by a live worker → poll until that worker's record
+      lands, then serve it from the store.
+
+    A crash inside the cell persists a ``status="error"`` record that
+    carries the fingerprint and full normalised config (re-claimable
+    and re-addressable by ``store resume``).  Interruptions that are
+    not ordinary exceptions (``KeyboardInterrupt``, ``SystemExit``)
+    release the lease — the cell returns to ``pending`` untouched,
+    which is what makes killed sweeps resumable.
+    """
+    from repro.store.fingerprint import fingerprint_for
+
+    fp, config, gfp = fingerprint_for(mc.cell, mc.ctx, graph)
+    store.register(fp, algorithm=mc.cell.algorithm_name, config=config,
+                   seed=mc.ctx.seed, graph_fingerprint=gfp,
+                   dataset=mc.cell.dataset or mc.ctx.dataset)
+    while True:
+        cached = store.lookup(fp)
+        if cached is not None:
+            return cached
+        if store.claim(fp):
+            try:
+                record = run_materialised_cell(mc, graph,
+                                               on_error="raise")
+            except Exception as exc:
+                record = error_record(mc.cell, mc.ctx, graph, exc,
+                                      fingerprint=fp, config=config)
+                store.complete(fp, record)
+                if on_error == "raise":
+                    raise
+                return record
+            except BaseException:
+                store.release(fp)
+                raise
+            store.complete(fp, record)
+            return record
+        time.sleep(STORE_POLL_S)
 
 
 def _run_one(mc: MaterialisedCell, graph: "CSRGraph | None",
@@ -269,6 +358,7 @@ def run_cells(
     parallel: int = 0,
     on_error: str = "record",
     cache: Any = None,
+    store: Any = None,
 ) -> list[RunRecord]:
     """Run every cell and return its :class:`RunRecord`, in cell order.
 
@@ -295,6 +385,17 @@ def run_cells(
         Parallel path only: a :class:`~repro.harness.cache.GraphCache`
         staging graphs on disk for the workers, ``None`` for the
         default cache, or ``False`` to ship graphs by pickle instead.
+    store:
+        A :class:`~repro.store.db.RunStore` (or a database path) making
+        the grid *durable*: every cell is registered under its content
+        fingerprint, cells already ``done`` are served from the store
+        bit-identically (no recompute), only ``pending``/failed/stale
+        cells execute, and every completed record is persisted
+        (:func:`run_stored_cell`).  ``None`` keeps the grid ephemeral.
+        Store-served records have ``result=None`` — the in-memory
+        :class:`~repro.engine.record.MatchResult` is never serialised —
+        so consumers needing per-component numbers read
+        ``record.timeline_totals``.
 
     Returns
     -------
@@ -305,12 +406,28 @@ def run_cells(
     if on_error not in ("record", "raise"):
         raise ValueError(f"on_error must be 'record' or 'raise', "
                          f"got {on_error!r}")
+    if store is not None:
+        from repro.store.db import resolve_store
+
+        store = resolve_store(store, use_env=False)
     materialised = materialise_cells(cells, ctx)
     if parallel and parallel >= 1:
         from repro.harness.parallel import run_cells_parallel
 
         return run_cells_parallel(
             materialised, graph=graph, max_workers=int(parallel),
-            on_error=on_error, cache=cache,
+            on_error=on_error, cache=cache, store=store,
         )
-    return [_run_one(mc, graph, on_error) for mc in materialised]
+    if store is None:
+        return [_run_one(mc, graph, on_error) for mc in materialised]
+    out: list[RunRecord] = []
+    for mc in materialised:
+        try:
+            g = _resolve_graph(mc.cell, graph)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            out.append(error_record(mc.cell, mc.ctx, None, exc))
+            continue
+        out.append(run_stored_cell(mc, g, store, on_error))
+    return out

@@ -115,10 +115,17 @@ class RunRecord:
         return cls(**kwargs)
 
     def to_json(self, indent: int | None = None) -> str:
-        """:meth:`to_dict` as a JSON string."""
+        """:meth:`to_dict` as a JSON string.
+
+        Keys are sorted and the document ends with a newline, so store
+        exports and committed baseline files diff cleanly line by line
+        and re-serialising a parsed record reproduces the exact bytes
+        (``from_json(s).to_json() == s``).
+        """
         import json
 
-        return json.dumps(self.to_dict(), indent=indent)
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=True) + "\n"
 
     @classmethod
     def from_json(cls, text: str) -> "RunRecord":

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Timeline", "COMPONENTS"]
+__all__ = [
+    "Timeline",
+    "COMPONENTS",
+    "COMM_COMPONENTS",
+    "fractions_from_totals",
+    "comm_fraction_from_totals",
+]
 
 #: The component set of the paper's Fig. 5/7 stacked bars.
 COMPONENTS = (
@@ -21,6 +27,37 @@ COMPONENTS = (
     "batch_transfer",
     "sync",
 )
+
+#: The components the paper classifies as communication (the numerator
+#: of :meth:`Timeline.communication_fraction`).
+COMM_COMPONENTS = ("allreduce_pointers", "allreduce_mate",
+                   "batch_transfer", "sync")
+
+
+def fractions_from_totals(totals: dict) -> dict:
+    """Component shares from a plain totals dict.
+
+    The dict-shaped twin of :meth:`Timeline.fractions`, for consumers
+    holding only ``RunRecord.timeline_totals`` — e.g. records served
+    from the run store, where the in-memory ``MatchResult`` (and its
+    :class:`Timeline`) is never serialised.  Unknown keys pass through;
+    missing components read as 0.  Summation runs in sorted-key order
+    so the result is bit-identical whether the totals dict came fresh
+    from a :class:`Timeline` or back out of sorted-keys JSON.
+    """
+    t = sum(totals[k] for k in sorted(totals))
+    if t == 0:
+        return {c: 0.0 for c in COMPONENTS}
+    return {c: totals.get(c, 0.0) / t for c in COMPONENTS}
+
+
+def comm_fraction_from_totals(totals: dict) -> float:
+    """:meth:`Timeline.communication_fraction` from a plain totals
+    dict (see :func:`fractions_from_totals`)."""
+    t = sum(totals[k] for k in sorted(totals))
+    if t == 0:
+        return 0.0
+    return sum(totals.get(c, 0.0) for c in COMM_COMPONENTS) / t
 
 
 class Timeline:

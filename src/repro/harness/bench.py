@@ -57,12 +57,15 @@ class Workload:
     overrides: dict[str, Any] = field(default_factory=dict)
     build: Any = field(default=None, repr=False)
 
-    def cell(self) -> Cell:
+    def cell(self, replicate: int | None = None) -> Cell:
+        # Distinct replicate indices keep bench repeats individually
+        # addressable in a run store (identical cells would collapse
+        # onto one fingerprint and repeats 2..N would be store hits).
         return Cell(self.algorithm, dataset=self.dataset,
                     quality=self.quality, build=self.build,
                     config=dict(self.config),
                     overrides=dict(self.overrides),
-                    label=self.name)
+                    label=self.name, replicate=replicate)
 
 
 # ------------------------------------------------------------------ #
@@ -182,6 +185,7 @@ def run_bench(
     repeats: int = 3,
     parallel: int = 0,
     cache: Any = None,
+    store: Any = None,
 ) -> dict[str, Any]:
     """Run a suite; returns the ``BENCH_*.json`` document (schema v1).
 
@@ -190,6 +194,12 @@ def run_bench(
     ``median_wall_time_s`` (informational) are medians over the repeats.
     A crashing workload reports ``status="error"`` with the error type
     instead of killing the suite.
+
+    ``store`` (a :class:`~repro.store.db.RunStore` or database path)
+    appends every (workload, replicate) record to a durable, queryable
+    history keyed by content fingerprint instead of only overwriting
+    ``BENCH_<suite>.json`` — re-running an unchanged suite against the
+    same store serves every cell from history with zero recompute.
     """
     if suite not in SUITES:
         raise KeyError(f"unknown bench suite {suite!r}; "
@@ -197,8 +207,10 @@ def run_bench(
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     workloads = SUITES[suite]
-    cells = [w.cell() for w in workloads for _ in range(repeats)]
-    records = run_cells(cells, parallel=parallel, cache=cache)
+    cells = [w.cell(replicate=k) for w in workloads
+             for k in range(repeats)]
+    records = run_cells(cells, parallel=parallel, cache=cache,
+                        store=store)
 
     entries = []
     for i, w in enumerate(workloads):
@@ -227,13 +239,18 @@ def run_bench(
     if parallel and cache is not False:
         used_cache = str(cache.root) if cache is not None \
             else (None if cache_disabled() else str(default_cache_root()))
+    used_store = None
+    if store is not None:
+        used_store = str(store.path) if hasattr(store, "path") \
+            else str(store)
 
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "suite": suite,
         "repeats": repeats,
         "workloads": entries,
-        "provenance": build_manifest(dataset_cache=used_cache),
+        "provenance": build_manifest(dataset_cache=used_cache,
+                                     run_store=used_store),
     }
 
 

@@ -22,7 +22,7 @@ from repro.engine import RunContext, execute
 from repro.engine.cells import Cell, run_cells
 from repro.gpusim.memory import DeviceOOMError
 from repro.gpusim.spec import DGX_2, DGX_A100, DGX_A100_PCIE
-from repro.gpusim.timeline import COMPONENTS
+from repro.gpusim.timeline import COMPONENTS, fractions_from_totals
 from repro.harness.datasets import (
     DATASETS,
     large_datasets,
@@ -118,8 +118,8 @@ def _pick(names: list[str], quick: bool, k: int = 3) -> list[str]:
 # ------------------------------------------------------------------ #
 # Table I — best execution times and speedups
 # ------------------------------------------------------------------ #
-def table1_execution_times(quick: bool = False,
-                           parallel: int = 0) -> ExperimentResult:
+def table1_execution_times(quick: bool = False, parallel: int = 0,
+                           store: Any = None) -> ExperimentResult:
     """Table I (right): best times for SR-OMP / SR-GPU / LD-GPU and the
     LD-GPU speedups.  '-' marks out-of-memory, as in the paper."""
     names = _pick(large_datasets(), quick, 2) + \
@@ -135,7 +135,8 @@ def table1_execution_times(quick: bool = False,
         except DeviceOOMError:
             sr_time = None
         ld, nd, nb = best_ld_gpu(g, ctx.platform, device_counts=devices,
-                                 batch_counts=batches, parallel=parallel)
+                                 batch_counts=batches, parallel=parallel,
+                                 store=store)
         rows.append([
             name,
             omp.sim_time,
@@ -282,7 +283,8 @@ _TABLE6_GRAPHS = ["AGATHA-2015", "MOLIERE_2016", "GAP-urand", "GAP-kron",
                   "com-Friendster", "kmer_U1a"]
 
 
-def table6_fom(quick: bool = False, parallel: int = 0) -> ExperimentResult:
+def table6_fom(quick: bool = False, parallel: int = 0,
+               store: Any = None) -> ExperimentResult:
     """Table VI: Mega-Matching-Edges-per-Second (higher is better).
 
     Times are paper-scale (bandwidth-scaled platforms), so matched edges
@@ -298,7 +300,8 @@ def table6_fom(quick: bool = False, parallel: int = 0) -> ExperimentResult:
         ctx = RunContext.for_dataset(name)
         s = scale_factor(name)
         ld, _, _ = best_ld_gpu(g, ctx.platform, device_counts=devices,
-                               batch_counts=batches, parallel=parallel)
+                               batch_counts=batches, parallel=parallel,
+                               store=store)
         omp = execute("sr_omp", g, ctx).result
         rows.append([name, mmeps(ld) / s, mmeps(omp) / s])
     return ExperimentResult(
@@ -312,8 +315,8 @@ def table6_fom(quick: bool = False, parallel: int = 0) -> ExperimentResult:
 # ------------------------------------------------------------------ #
 # Fig. 4 — strong scaling on LARGE inputs
 # ------------------------------------------------------------------ #
-def fig4_strong_scaling(quick: bool = False,
-                        parallel: int = 0) -> ExperimentResult:
+def fig4_strong_scaling(quick: bool = False, parallel: int = 0,
+                        store: Any = None) -> ExperimentResult:
     """Fig. 4: LD-GPU time on 1–8 A100s (best over batch counts <15)."""
     names = _pick(large_datasets(), quick, 2)
     devices = (1, 2, 4) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
@@ -329,7 +332,7 @@ def fig4_strong_scaling(quick: bool = False,
                     overrides={"collect_stats": False},
                 ))
                 keys.append((name, nd))
-    records = run_cells(cells, parallel=parallel)
+    records = run_cells(cells, parallel=parallel, store=store)
     best: dict[tuple, float] = {}
     for key, r in zip(keys, records):
         if r.ok and (key not in best or r.sim_time < best[key]):
@@ -357,8 +360,8 @@ def fig4_strong_scaling(quick: bool = False,
 # ------------------------------------------------------------------ #
 # Fig. 5 — component-wise timing
 # ------------------------------------------------------------------ #
-def fig5_components(quick: bool = False,
-                    parallel: int = 0) -> ExperimentResult:
+def fig5_components(quick: bool = False, parallel: int = 0,
+                    store: Any = None) -> ExperimentResult:
     """Fig. 5: % of total time per component across devices."""
     names = _pick(large_datasets(), quick, 1) + \
         _pick(small_datasets(), quick, 1)
@@ -370,10 +373,13 @@ def fig5_components(quick: bool = False,
         for name in names for nd in devices
     ]
     rows = []
-    for cell, rec in zip(cells, run_cells(cells, parallel=parallel)):
+    for cell, rec in zip(cells,
+                         run_cells(cells, parallel=parallel, store=store)):
         if not rec.ok:
             continue
-        f = rec.result.timeline.fractions()
+        # Serialised totals, not rec.result — store-served records
+        # carry no in-memory result and must render identically.
+        f = fractions_from_totals(rec.timeline_totals or {})
         rows.append([cell.dataset, cell.config["num_devices"]] +
                     [100.0 * f[c] for c in COMPONENTS])
     return ExperimentResult(
@@ -390,8 +396,8 @@ def fig5_components(quick: bool = False,
 _BATCH_STUDY_GRAPHS = ["kmer_U1a", "mycielskian18", "kmer_V2a"]
 
 
-def fig6_batch_scaling(quick: bool = False,
-                       parallel: int = 0) -> ExperimentResult:
+def fig6_batch_scaling(quick: bool = False, parallel: int = 0,
+                       store: Any = None) -> ExperimentResult:
     """Fig. 6: forcing 1/3/5/10 batches on SMALL inputs across devices."""
     names = _pick(_BATCH_STUDY_GRAPHS, quick, 1)
     devices = (1, 2, 4) if quick else (1, 2, 4, 8)
@@ -402,7 +408,7 @@ def fig6_batch_scaling(quick: bool = False,
              overrides={"collect_stats": False, "force_streaming": True})
         for name in names for nb in batch_counts for nd in devices
     ]
-    records = iter(run_cells(cells, parallel=parallel))
+    records = iter(run_cells(cells, parallel=parallel, store=store))
     rows = []
     for name in names:
         for nb in batch_counts:
@@ -418,8 +424,8 @@ def fig6_batch_scaling(quick: bool = False,
     )
 
 
-def fig7_kmer_components(quick: bool = False,
-                         parallel: int = 0) -> ExperimentResult:
+def fig7_kmer_components(quick: bool = False, parallel: int = 0,
+                         store: Any = None) -> ExperimentResult:
     """Fig. 7: kmer_U1a component breakdown under forced batching."""
     ctx = RunContext.for_dataset("kmer_U1a")
     devices = (1, 4) if quick else (1, 2, 4, 8)
@@ -431,10 +437,11 @@ def fig7_kmer_components(quick: bool = False,
         for nb in batch_counts for nd in devices
     ]
     rows = []
-    for cell, rec in zip(cells, run_cells(cells, parallel=parallel)):
+    for cell, rec in zip(cells,
+                         run_cells(cells, parallel=parallel, store=store)):
         if not rec.ok:
             continue
-        f = rec.result.timeline.fractions()
+        f = fractions_from_totals(rec.timeline_totals or {})
         rows.append([cell.config["num_batches"],
                      cell.config["num_devices"]] +
                     [100.0 * f[c] for c in COMPONENTS])
@@ -484,8 +491,8 @@ def fig8_warp_work(quick: bool = False) -> ExperimentResult:
 # ------------------------------------------------------------------ #
 # Fig. 9 — NVLink vs PCIe
 # ------------------------------------------------------------------ #
-def fig9_interconnect(quick: bool = False,
-                      parallel: int = 0) -> ExperimentResult:
+def fig9_interconnect(quick: bool = False, parallel: int = 0,
+                      store: Any = None) -> ExperimentResult:
     """Fig. 9: execution-time speedup of NVLink over PCIe."""
     names = _pick(large_datasets(), quick, 2) + \
         _pick(small_datasets(), quick, 1)
@@ -501,7 +508,7 @@ def fig9_interconnect(quick: bool = False,
                     config={"num_devices": nd},
                     overrides={"collect_stats": False},
                 ))
-    records = iter(run_cells(cells, parallel=parallel))
+    records = iter(run_cells(cells, parallel=parallel, store=store))
     rows = []
     speedups = []
     for name in names:
@@ -530,8 +537,8 @@ def fig9_interconnect(quick: bool = False,
 _FIG10_GRAPHS = ["GAP-kron", "com-Friendster"]
 
 
-def fig10_platforms(quick: bool = False,
-                    parallel: int = 0) -> ExperimentResult:
+def fig10_platforms(quick: bool = False, parallel: int = 0,
+                    store: Any = None) -> ExperimentResult:
     """Fig. 10: LD-GPU scalability on DGX-A100 (8×A100) vs DGX-2
     (16×V100)."""
     names = _pick(_FIG10_GRAPHS, quick, 1)
@@ -549,7 +556,8 @@ def fig10_platforms(quick: bool = False,
                     label=plat.name,
                 ))
     rows = []
-    for cell, rec in zip(cells, run_cells(cells, parallel=parallel)):
+    for cell, rec in zip(cells,
+                         run_cells(cells, parallel=parallel, store=store)):
         if not rec.ok:
             continue
         rows.append([cell.dataset, cell.label,

@@ -37,12 +37,14 @@ from repro.engine.cells import (
     MaterialisedCell,
     error_record,
     run_materialised_cell,
+    run_stored_cell,
 )
 from repro.engine.record import RunRecord
 from repro.harness.cache import GraphCache, cache_disabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.csr import CSRGraph
+    from repro.store.db import RunStore
 
 __all__ = ["run_cells_parallel"]
 
@@ -79,16 +81,21 @@ def _load_ref(ref: _GraphRef) -> "CSRGraph":
     return graph
 
 
-def _worker_run(payload: tuple[MaterialisedCell, _GraphRef, str]
-                ) -> tuple[int, RunRecord]:
+def _worker_run(
+    payload: tuple[MaterialisedCell, _GraphRef, str, "RunStore | None"],
+) -> tuple[int, RunRecord]:
     """Executed in a worker process: resolve the graph, run the cell."""
-    mc, ref, on_error = payload
+    mc, ref, on_error, store = payload
     try:
         graph = _load_ref(ref)
     except Exception as exc:
         if on_error == "raise":
             raise
         return mc.index, error_record(mc.cell, mc.ctx, None, exc)
+    if store is not None:
+        # The store unpickles connection-less in the worker and opens
+        # its own WAL connection; claims are atomic across processes.
+        return mc.index, run_stored_cell(mc, graph, store, on_error)
     return mc.index, run_materialised_cell(mc, graph, on_error)
 
 
@@ -133,6 +140,7 @@ def run_cells_parallel(
     max_workers: int = 2,
     on_error: str = "record",
     cache: Any = None,
+    store: "RunStore | None" = None,
 ) -> list[RunRecord]:
     """Fan materialised cells out to worker processes; records return in
     cell order.
@@ -140,7 +148,11 @@ def run_cells_parallel(
     ``cache=None`` stages graphs through the default
     :class:`GraphCache` (honouring ``REPRO_GRAPH_CACHE``); pass a
     :class:`GraphCache` to control placement, or ``False`` to ship
-    graphs by pickle.  Callers normally reach this through
+    graphs by pickle.  ``store`` makes every worker execute through a
+    :class:`~repro.store.db.RunStore` (``done`` cells served without
+    recompute, claims arbitrated by the store's leases — so *several
+    independent sweep processes* sharing one store divide the grid
+    between themselves).  Callers normally reach this through
     :func:`repro.engine.cells.run_cells` with ``parallel=N``.
     """
     if not materialised:
@@ -172,7 +184,7 @@ def run_cells_parallel(
     payloads = [
         (MaterialisedCell(mc.index, mc.cell,
                           mc.ctx.with_config(sinks=())),
-         refs[_graph_key(mc)], on_error)
+         refs[_graph_key(mc)], on_error, store)
         for mc in materialised
     ]
 

@@ -140,10 +140,16 @@ def _point_for(cell: Cell, record: RunRecord) -> SweepPoint:
     if not record.ok:
         return SweepPoint(plat_name, cell.config["num_devices"],
                           cell.config["num_batches"], None, None, None)
+    # Records served from a run store carry no in-memory result —
+    # the communication split reads from the serialised totals either
+    # way, so store-resumed sweeps render identical tables.
+    from repro.gpusim.timeline import comm_fraction_from_totals
+
+    comm = comm_fraction_from_totals(record.timeline_totals) \
+        if record.timeline_totals else None
     return SweepPoint(
         plat_name, record.num_devices, record.num_batches,
-        record.sim_time, record.iterations,
-        record.result.timeline.communication_fraction(),
+        record.sim_time, record.iterations, comm,
     )
 
 
@@ -155,6 +161,8 @@ def sweep_ld_gpu(
     collect_metrics: bool = False,
     parallel: int = 0,
     seed: int | None = None,
+    store: Any = None,
+    dataset: str | None = None,
     **ld_kwargs: Any,
 ) -> SweepResult:
     """Run LD-GPU over the configuration grid.
@@ -173,7 +181,15 @@ def sweep_ld_gpu(
     process-local, so it forces serial execution.  ``seed`` sets the
     base of the deterministic per-cell seed derivation (LD-GPU itself
     is deterministic; the seed matters for randomised algorithms run
-    through :func:`sweep_cells` grids).
+    through :func:`sweep_cells` grids).  ``store`` (a
+    :class:`~repro.store.db.RunStore` or database path) makes the sweep
+    durable and resumable: finished configurations are served from the
+    store with zero recompute, and an interrupted sweep picks up where
+    it left off (``repro-matching store resume``).  ``dataset`` names
+    the registry dataset ``graph`` was loaded from, when it was: the
+    name lands on the context (and so in each cell's stored config),
+    which is what lets ``store resume`` reload the graph for cells
+    that received it in-process.
     """
     cells = sweep_cells(platforms, device_counts, batch_counts,
                         collect_stats=False, **ld_kwargs)
@@ -191,12 +207,23 @@ def sweep_ld_gpu(
                 RuntimeWarning, stacklevel=2,
             )
             parallel = 0
-        sink = MetricsSink()
-        ctx = RunContext(seed=seed, sinks=(sink,))
-    else:
-        ctx = RunContext(seed=seed)
+        if store is not None:
+            import warnings
 
-    records = run_cells(cells, ctx, graph=graph, parallel=parallel)
+            warnings.warn(
+                "collect_metrics disables the run store for this "
+                "sweep: store-served cells never execute, so their "
+                "per-cell metric snapshots cannot exist",
+                RuntimeWarning, stacklevel=2,
+            )
+            store = None
+        sink = MetricsSink()
+        ctx = RunContext(seed=seed, dataset=dataset, sinks=(sink,))
+    else:
+        ctx = RunContext(seed=seed, dataset=dataset)
+
+    records = run_cells(cells, ctx, graph=graph, parallel=parallel,
+                        store=store)
 
     result = SweepResult(graph.name, records=records)
     for cell, record in zip(cells, records):

@@ -1,0 +1,39 @@
+"""Persistent run store: content-addressed, lease-claimed grid cells.
+
+``repro.store`` makes grid execution durable.  Every cell of a
+``run_cells`` grid is addressed by a content fingerprint of *what it
+computes* (:mod:`repro.store.fingerprint`); a SQLite-backed
+:class:`RunStore` (:mod:`repro.store.db`) tracks each cell through
+``pending → leased → done | error``, serves finished records back
+bit-identically, and lets any number of worker processes claim cells
+atomically with stale-lease recovery.  ``repro-matching store …``
+exposes the store on the command line.
+"""
+
+from repro.store.db import (
+    RUN_STORE_ENV,
+    STORE_SCHEMA_VERSION,
+    RunStore,
+    StoredRun,
+    resolve_store,
+)
+from repro.store.fingerprint import (
+    cell_config,
+    cell_fingerprint,
+    cell_from_config,
+    config_digest,
+    fingerprint_for,
+)
+
+__all__ = [
+    "RUN_STORE_ENV",
+    "STORE_SCHEMA_VERSION",
+    "RunStore",
+    "StoredRun",
+    "resolve_store",
+    "cell_config",
+    "cell_fingerprint",
+    "cell_from_config",
+    "config_digest",
+    "fingerprint_for",
+]

@@ -1,0 +1,503 @@
+"""The persistent run store: SQLite (WAL mode) + lease-based claims.
+
+One ``runs`` table keyed by the content-addressed cell fingerprint
+(:mod:`repro.store.fingerprint`) holds every grid cell ever registered,
+with the lifecycle::
+
+    pending ──claim──▶ leased ──complete──▶ done
+       ▲                  │                  (terminal; served on lookup)
+       │                  └────complete─────▶ error
+       └── stale lease (no heartbeat before ──┘   (re-claimable, like
+           ``lease_expires_at``) or ``release``    pending)
+
+Claims are atomic — ``BEGIN IMMEDIATE`` plus a conditional ``UPDATE`` —
+so any number of worker *processes* can race on the same row and exactly
+one wins; the losers poll :meth:`RunStore.lookup` and get the winner's
+stored record.  A worker that dies mid-cell simply stops heartbeating:
+its lease expires and the row becomes claimable again (the FuzzBench
+scheduler's job-record shape; py_experimenter's row-per-experiment
+status tracking is the other parent of this design).
+
+``done`` rows store the full :meth:`RunRecord.to_json` document and are
+served back **bit-identically** via
+:meth:`~repro.engine.record.RunRecord.from_json` — a resumed sweep's
+records match the uninterrupted run's field for field (the served
+record even carries the original run's wall time and provenance).
+
+Telemetry: every lookup hit, claim and stale-lease reclaim counts into
+``repro_store_hits_total`` / ``repro_store_claims_total`` /
+``repro_store_stale_reclaims_total`` through the active
+:mod:`repro.telemetry` registry (no-op when none is active); the same
+counts are mirrored on the instance (``hits``/``claims``/
+``stale_reclaims``) for in-process consumers.
+
+Environment: ``REPRO_RUN_STORE`` names the default store path for the
+CLI's ``--store`` flag; ``REPRO_RUN_STORE_LEASE_S`` overrides the
+default lease duration (300 s).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.record import RunRecord
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "RUN_STORE_ENV",
+    "StoredRun",
+    "RunStore",
+    "resolve_store",
+]
+
+#: Bump when the ``runs`` table layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+RUN_STORE_ENV = "REPRO_RUN_STORE"
+_ENV_LEASE = "REPRO_RUN_STORE_LEASE_S"
+_DEFAULT_LEASE_S = 300.0
+
+#: Lifecycle states of a run row.
+STATUSES = ("pending", "leased", "done", "error")
+
+HITS_COUNTER = "repro_store_hits_total"
+CLAIMS_COUNTER = "repro_store_claims_total"
+STALE_COUNTER = "repro_store_stale_reclaims_total"
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    fingerprint       TEXT PRIMARY KEY,
+    algorithm         TEXT NOT NULL,
+    dataset           TEXT,
+    graph_fingerprint TEXT,
+    config_json       TEXT NOT NULL,
+    seed              INTEGER,
+    record_schema     INTEGER NOT NULL,
+    status            TEXT NOT NULL DEFAULT 'pending',
+    worker            TEXT,
+    lease_expires_at  REAL,
+    heartbeat_at      REAL,
+    attempts          INTEGER NOT NULL DEFAULT 0,
+    record_json       TEXT,
+    error_type        TEXT,
+    error_message     TEXT,
+    created_at        REAL NOT NULL,
+    updated_at        REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_status ON runs (status);
+"""
+
+
+def _count(name: str) -> None:
+    """Bump a store counter in the active telemetry registry (no-op
+    when none is active)."""
+    from repro.telemetry.spans import emit_event
+
+    emit_event(name, "Run-store lifecycle events.")
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One ``runs`` row, as Python data."""
+
+    fingerprint: str
+    algorithm: str
+    dataset: str | None
+    graph_fingerprint: str | None
+    config: dict[str, Any]
+    seed: int | None
+    record_schema: int
+    status: str
+    worker: str | None
+    lease_expires_at: float | None
+    heartbeat_at: float | None
+    attempts: int
+    record_json: str | None
+    error_type: str | None
+    error_message: str | None
+    created_at: float
+    updated_at: float
+
+    def record(self) -> "RunRecord | None":
+        """The stored :class:`RunRecord` (``done``/``error`` rows)."""
+        if self.record_json is None:
+            return None
+        from repro.engine.record import RunRecord
+
+        return RunRecord.from_json(self.record_json)
+
+    @property
+    def resumable(self) -> bool:
+        """Whether :func:`~repro.store.fingerprint.cell_from_config`
+        can rebuild this row's cell standalone."""
+        return bool(self.config.get("dataset")
+                    or self.config.get("builder"))
+
+
+def _row_to_run(row: sqlite3.Row) -> StoredRun:
+    return StoredRun(
+        fingerprint=row["fingerprint"],
+        algorithm=row["algorithm"],
+        dataset=row["dataset"],
+        graph_fingerprint=row["graph_fingerprint"],
+        config=json.loads(row["config_json"]),
+        seed=row["seed"],
+        record_schema=row["record_schema"],
+        status=row["status"],
+        worker=row["worker"],
+        lease_expires_at=row["lease_expires_at"],
+        heartbeat_at=row["heartbeat_at"],
+        attempts=row["attempts"],
+        record_json=row["record_json"],
+        error_type=row["error_type"],
+        error_message=row["error_message"],
+        created_at=row["created_at"],
+        updated_at=row["updated_at"],
+    )
+
+
+class RunStore:
+    """SQLite-backed, multi-process-safe store of grid-cell runs.
+
+    Instances pickle by path (the connection is dropped and lazily
+    reopened), so a store passed to ``run_cells(parallel=N, store=...)``
+    travels to every worker process, each of which opens its own
+    WAL-mode connection.
+
+    Parameters
+    ----------
+    path:
+        The database file (created, with parents, on first use).
+    lease_seconds:
+        How long a claim stays valid without a heartbeat before other
+        workers may reclaim the row (default ``REPRO_RUN_STORE_LEASE_S``
+        or 300).
+    clock:
+        Time source, injectable for the stale-lease tests.
+    worker_id:
+        Identity recorded on claimed rows (default ``host:pid``).
+    """
+
+    def __init__(self, path: "Path | str",
+                 lease_seconds: float | None = None,
+                 clock: Callable[[], float] = time.time,
+                 worker_id: str | None = None) -> None:
+        self.path = Path(path)
+        if lease_seconds is None:
+            lease_seconds = float(os.environ.get(_ENV_LEASE,
+                                                 _DEFAULT_LEASE_S))
+        self.lease_seconds = float(lease_seconds)
+        self.clock = clock
+        self._worker_id = worker_id
+        self._conn: sqlite3.Connection | None = None
+        self.hits = 0
+        self.claims = 0
+        self.stale_reclaims = 0
+
+    # -------------------------------------------------------------- #
+    # connection plumbing
+    # -------------------------------------------------------------- #
+
+    @property
+    def worker_id(self) -> str:
+        if self._worker_id is None:
+            self._worker_id = f"{socket.gethostname()}:{os.getpid()}"
+        return self._worker_id
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = self._conn
+        if conn is not None:
+            return conn
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=30.0,
+                               isolation_level=None)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        conn.executescript(_SCHEMA_SQL)
+        conn.execute(
+            "INSERT OR IGNORE INTO store_meta (key, value) VALUES "
+            "('schema', ?)", (str(STORE_SCHEMA_VERSION),))
+        stored = int(conn.execute(
+            "SELECT value FROM store_meta WHERE key='schema'"
+        ).fetchone()["value"])
+        if stored > STORE_SCHEMA_VERSION:
+            conn.close()
+            raise ValueError(
+                f"run store {self.path} has schema {stored}, newer than "
+                f"supported ({STORE_SCHEMA_VERSION})")
+        self._conn = conn
+        return conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Connections (and fork-inherited pids) do not cross process
+        # boundaries: workers re-open by path and re-derive identity.
+        state = self.__dict__.copy()
+        state["_conn"] = None
+        state["_worker_id"] = None
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RunStore(path={str(self.path)!r}, "
+                f"counts={self.counts()})")
+
+    # -------------------------------------------------------------- #
+    # registration and lookup
+    # -------------------------------------------------------------- #
+
+    def register(self, fingerprint: str, *, algorithm: str,
+                 config: dict[str, Any], seed: int | None = None,
+                 graph_fingerprint: str | None = None,
+                 dataset: str | None = None,
+                 record_schema: int | None = None) -> bool:
+        """Ensure a row exists for ``fingerprint`` (``pending`` when
+        new); returns True if this call created it."""
+        if record_schema is None:
+            from repro.engine.record import SCHEMA_VERSION
+
+            record_schema = SCHEMA_VERSION
+        now = self.clock()
+        cur = self._connect().execute(
+            "INSERT OR IGNORE INTO runs (fingerprint, algorithm, "
+            "dataset, graph_fingerprint, config_json, seed, "
+            "record_schema, status, created_at, updated_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, 'pending', ?, ?)",
+            (fingerprint, algorithm,
+             dataset if dataset is not None else config.get("dataset"),
+             graph_fingerprint,
+             json.dumps(config, sort_keys=True, default=repr),
+             seed, record_schema, now, now))
+        return cur.rowcount > 0
+
+    def get(self, fingerprint: str) -> StoredRun | None:
+        """The row for ``fingerprint``, or None."""
+        row = self._connect().execute(
+            "SELECT * FROM runs WHERE fingerprint = ?",
+            (fingerprint,)).fetchone()
+        return _row_to_run(row) if row is not None else None
+
+    def find(self, prefix: str) -> list[StoredRun]:
+        """Rows whose fingerprint starts with ``prefix`` (CLI ``show``
+        convenience; ``cell:`` may be omitted)."""
+        if not prefix.startswith("cell:"):
+            prefix = f"cell:{prefix}"
+        rows = self._connect().execute(
+            "SELECT * FROM runs WHERE fingerprint LIKE ? "
+            "ORDER BY fingerprint",
+            (prefix.replace("%", "") + "%",)).fetchall()
+        return [_row_to_run(r) for r in rows]
+
+    def lookup(self, fingerprint: str) -> "RunRecord | None":
+        """The stored record of a ``done`` row, served bit-identically
+        via :meth:`RunRecord.from_json`; None for any other state."""
+        row = self._connect().execute(
+            "SELECT record_json FROM runs WHERE fingerprint = ? AND "
+            "status = 'done'", (fingerprint,)).fetchone()
+        if row is None or row["record_json"] is None:
+            return None
+        self.hits += 1
+        _count(HITS_COUNTER)
+        from repro.engine.record import RunRecord
+
+        return RunRecord.from_json(row["record_json"])
+
+    # -------------------------------------------------------------- #
+    # lease lifecycle
+    # -------------------------------------------------------------- #
+
+    def claim(self, fingerprint: str,
+              lease_seconds: float | None = None) -> bool:
+        """Atomically take the lease on a claimable row.
+
+        Claimable: ``pending``, ``error`` (failed cells re-run), or
+        ``leased`` with an expired lease (dead worker).  Exactly one of
+        any number of concurrent claimants wins — the ``UPDATE`` runs
+        under ``BEGIN IMMEDIATE`` and re-checks the state it read.
+        """
+        lease = self.lease_seconds if lease_seconds is None \
+            else float(lease_seconds)
+        conn = self._connect()
+        now = self.clock()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                "SELECT status, lease_expires_at FROM runs WHERE "
+                "fingerprint = ?", (fingerprint,)).fetchone()
+            if row is None:
+                return False
+            status = row["status"]
+            stale = (status == "leased"
+                     and row["lease_expires_at"] is not None
+                     and row["lease_expires_at"] < now)
+            if status not in ("pending", "error") and not stale:
+                return False
+            conn.execute(
+                "UPDATE runs SET status='leased', worker=?, "
+                "lease_expires_at=?, heartbeat_at=?, "
+                "attempts=attempts+1, updated_at=? WHERE fingerprint=?",
+                (self.worker_id, now + lease, now, now, fingerprint))
+        finally:
+            conn.execute("COMMIT")
+        self.claims += 1
+        _count(CLAIMS_COUNTER)
+        if stale:
+            self.stale_reclaims += 1
+            _count(STALE_COUNTER)
+        return True
+
+    def heartbeat(self, fingerprint: str,
+                  lease_seconds: float | None = None) -> bool:
+        """Refresh this worker's lease; False if the lease was lost."""
+        lease = self.lease_seconds if lease_seconds is None \
+            else float(lease_seconds)
+        now = self.clock()
+        cur = self._connect().execute(
+            "UPDATE runs SET heartbeat_at=?, lease_expires_at=?, "
+            "updated_at=? WHERE fingerprint=? AND worker=? AND "
+            "status='leased'",
+            (now, now + lease, now, fingerprint, self.worker_id))
+        return cur.rowcount > 0
+
+    def complete(self, fingerprint: str, record: "RunRecord") -> None:
+        """Persist the outcome of a leased cell (``done`` or ``error``
+        by ``record.status``) and drop the lease."""
+        now = self.clock()
+        error = record.error or {}
+        self._connect().execute(
+            "UPDATE runs SET status=?, record_json=?, error_type=?, "
+            "error_message=?, worker=NULL, lease_expires_at=NULL, "
+            "updated_at=? WHERE fingerprint=?",
+            ("done" if record.ok else "error", record.to_json(),
+             error.get("type"), error.get("message"), now, fingerprint))
+
+    def release(self, fingerprint: str) -> bool:
+        """Hand a leased row back to ``pending`` (interrupted worker on
+        its way out); False if this worker no longer held it."""
+        cur = self._connect().execute(
+            "UPDATE runs SET status='pending', worker=NULL, "
+            "lease_expires_at=NULL, updated_at=? "
+            "WHERE fingerprint=? AND worker=? AND status='leased'",
+            (self.clock(), fingerprint, self.worker_id))
+        return cur.rowcount > 0
+
+    # -------------------------------------------------------------- #
+    # introspection and maintenance
+    # -------------------------------------------------------------- #
+
+    def runs(self, status: str | Iterable[str] | None = None
+             ) -> list[StoredRun]:
+        """All rows, optionally filtered by status(es), oldest first."""
+        conn = self._connect()
+        if status is None:
+            rows = conn.execute(
+                "SELECT * FROM runs ORDER BY created_at, fingerprint"
+            ).fetchall()
+        else:
+            wanted = [status] if isinstance(status, str) else list(status)
+            marks = ",".join("?" for _ in wanted)
+            rows = conn.execute(
+                f"SELECT * FROM runs WHERE status IN ({marks}) "
+                "ORDER BY created_at, fingerprint", wanted).fetchall()
+        return [_row_to_run(r) for r in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Row counts per lifecycle status (absent statuses → 0)."""
+        out = {s: 0 for s in STATUSES}
+        for row in self._connect().execute(
+                "SELECT status, COUNT(*) AS n FROM runs GROUP BY status"):
+            out[row["status"]] = row["n"]
+        return out
+
+    def reclaim_stale(self) -> int:
+        """Move every expired lease back to ``pending``; returns the
+        number of rows reclaimed."""
+        now = self.clock()
+        cur = self._connect().execute(
+            "UPDATE runs SET status='pending', worker=NULL, "
+            "lease_expires_at=NULL, updated_at=? WHERE status='leased' "
+            "AND lease_expires_at IS NOT NULL AND lease_expires_at < ?",
+            (now, now))
+        n = cur.rowcount
+        for _ in range(n):
+            _count(STALE_COUNTER)
+        self.stale_reclaims += n
+        return n
+
+    def gc(self, prune_errors: bool = False) -> dict[str, int]:
+        """Housekeeping: reclaim stale leases and (optionally) delete
+        ``error`` rows so their cells re-register from scratch."""
+        out = {"stale_reclaimed": self.reclaim_stale(),
+               "errors_pruned": 0}
+        if prune_errors:
+            cur = self._connect().execute(
+                "DELETE FROM runs WHERE status='error'")
+            out["errors_pruned"] = cur.rowcount
+        return out
+
+    def export(self) -> dict[str, Any]:
+        """The whole store as one JSON-safe document (schema, per-status
+        counts, every row with its parsed record)."""
+        runs = []
+        for r in self.runs():
+            doc: dict[str, Any] = {
+                "fingerprint": r.fingerprint,
+                "algorithm": r.algorithm,
+                "dataset": r.dataset,
+                "graph_fingerprint": r.graph_fingerprint,
+                "seed": r.seed,
+                "record_schema": r.record_schema,
+                "status": r.status,
+                "attempts": r.attempts,
+                "config": r.config,
+                "error_type": r.error_type,
+                "error_message": r.error_message,
+                "record": json.loads(r.record_json)
+                if r.record_json is not None else None,
+            }
+            runs.append(doc)
+        return {
+            "schema": STORE_SCHEMA_VERSION,
+            "path": str(self.path),
+            "counts": self.counts(),
+            "runs": runs,
+        }
+
+
+def resolve_store(store: "RunStore | Path | str | None",
+                  use_env: bool = True) -> "RunStore | None":
+    """Normalise a ``store=`` argument: pass instances through, wrap
+    paths, and (for ``None``, when ``use_env``) fall back to the
+    ``REPRO_RUN_STORE`` environment variable."""
+    if isinstance(store, RunStore):
+        return store
+    if store is not None:
+        return RunStore(store)
+    if use_env:
+        env = os.environ.get(RUN_STORE_ENV)
+        if env:
+            return RunStore(env)
+    return None

@@ -44,6 +44,13 @@ Metric names are a contract::
     repro_run_iterations{algorithm}                             gauge
     repro_iterations_below_edges_threshold{algorithm,threshold} gauge
     repro_wall_span_seconds{span}                               histogram
+    repro_store_hits_total                                      counter
+    repro_store_claims_total                                    counter
+    repro_store_stale_reclaims_total                            counter
+
+The three ``repro_store_*`` counters come from the run store
+(:mod:`repro.store`): records served without recompute, leases taken,
+and leases reclaimed from dead workers.
 """
 
 from repro.telemetry.registry import (
