@@ -482,6 +482,19 @@ def _cmd_bench(parser: argparse.ArgumentParser,
             rows, floatfmt=".3g",
             title=f"bench suite '{args.suite}' x{args.repeats}",
         ))
+        staging = report.get("staging")
+        if staging:
+            shm_s = staging.get("median_shm_attach_s")
+            speedup = staging.get("speedup")
+            if shm_s is None:
+                print(f"staging ({staging['graph']}): npz reload "
+                      f"{staging['median_npz_load_s']:.3g}s; "
+                      "shared-memory plane unavailable")
+            else:
+                print(f"staging ({staging['graph']}): shm attach "
+                      f"{shm_s:.3g}s vs npz reload "
+                      f"{staging['median_npz_load_s']:.3g}s "
+                      f"({speedup:.3g}x)")
         print(f"report written to {out}")
 
     baseline_path = args.baseline
@@ -548,6 +561,11 @@ def _cmd_stats(parser: argparse.ArgumentParser,
             "host_fraction_of_modeled":
                 host_scanned / modeled if modeled else None,
         }
+        for key in ("host_entries_scanned_pointing",
+                    "host_entries_scanned_matching"):
+            val = record.extra.get(key)
+            if val is not None:
+                doc["pointing"][key] = int(val)
     if scanned and record.num_directed_edges:
         frac = edges_accessed_fraction(np.asarray(scanned),
                                        record.num_directed_edges)
@@ -604,6 +622,10 @@ def _cmd_stats(parser: argparse.ArgumentParser,
         line = (f"pointing engine '{pt['engine']}': "
                 f"{pt['host_entries_scanned']} adjacency entries "
                 f"examined on the host")
+        if pt.get("host_entries_scanned_pointing") is not None and \
+                pt.get("host_entries_scanned_matching") is not None:
+            line += (f" (pointing {pt['host_entries_scanned_pointing']}, "
+                     f"matching {pt['host_entries_scanned_matching']})")
         if pt["modeled_edges_scanned"]:
             line += (f" vs {pt['modeled_edges_scanned']} modeled "
                      f"({100.0 * pt['host_fraction_of_modeled']:.1f}%)")
@@ -770,9 +792,18 @@ def _cmd_store(parser: argparse.ArgumentParser,
 
 def _cmd_cache(parser: argparse.ArgumentParser,
                args: argparse.Namespace) -> int:
+    """Disk snapshots plus the shared-memory graph plane.
+
+    ``ls`` lists both; ``clear`` removes both (any ``repro_graph_*``
+    segment still in ``/dev/shm`` at clear time is either a live grid's
+    — which will fall back to rebuilding — or an orphan from a hard
+    crash); ``evict`` applies the entry cap to disk snapshots only, as
+    segments are released by their owning process.
+    """
     import os
 
     from repro.harness.cache import GraphCache, cache_disabled
+    from repro.harness.shm import list_orphan_segments, unlink_segment
 
     if cache_disabled():
         print(f"graph cache is disabled (REPRO_GRAPH_CACHE="
@@ -786,25 +817,40 @@ def _cmd_cache(parser: argparse.ArgumentParser,
 
     if action == "ls":
         entries = cache.entries()
+        segments = list_orphan_segments()
         if args.json:
             doc = [{"path": str(p), "bytes": p.stat().st_size}
                    for p in entries]
+            shm_doc = [{"name": name, "bytes": nbytes}
+                       for name, nbytes in segments]
             print(json.dumps({"root": str(cache.root),
-                              "entries": doc}, indent=1))
+                              "entries": doc,
+                              "shm_segments": shm_doc}, indent=1))
             return EXIT_OK
         if not entries:
             print(f"graph cache {cache.root}: empty")
-            return EXIT_OK
-        rows = [[p.name, p.stat().st_size] for p in entries]
-        print(format_table(["snapshot", "bytes"], rows,
-                           title=f"graph cache {cache.root} "
-                                 f"({len(entries)} entries)"))
+        else:
+            rows = [[p.name, p.stat().st_size] for p in entries]
+            print(format_table(["snapshot", "bytes"], rows,
+                               title=f"graph cache {cache.root} "
+                                     f"({len(entries)} entries)"))
+        if segments:
+            rows = [[name, nbytes] for name, nbytes in segments]
+            print(format_table(
+                ["shm segment", "bytes"], rows,
+                title=f"shared-memory graph plane "
+                      f"({len(segments)} segment(s); live grids or "
+                      f"orphans — 'cache clear' unlinks them)"))
         return EXIT_OK
 
     if action == "clear":
         n = len(cache.entries())
         cache.clear()
         print(f"removed {n} snapshot(s) from {cache.root}")
+        freed = sum(1 for name, _ in list_orphan_segments()
+                    if unlink_segment(name))
+        if freed:
+            print(f"unlinked {freed} shared-memory segment(s)")
         return EXIT_OK
 
     removed = cache.evict()

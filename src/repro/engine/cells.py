@@ -359,6 +359,7 @@ def run_cells(
     on_error: str = "record",
     cache: Any = None,
     store: Any = None,
+    shm: Any = None,
 ) -> list[RunRecord]:
     """Run every cell and return its :class:`RunRecord`, in cell order.
 
@@ -385,6 +386,13 @@ def run_cells(
         Parallel path only: a :class:`~repro.harness.cache.GraphCache`
         staging graphs on disk for the workers, ``None`` for the
         default cache, or ``False`` to ship graphs by pickle instead.
+    shm:
+        Parallel path only: ``None`` (default) also publishes staged
+        graphs into shared memory so workers attach zero-copy views
+        instead of re-reading ``.npz`` snapshots (disable globally with
+        ``REPRO_SHM=off``); ``False`` forces disk-only staging; a
+        :class:`~repro.harness.shm.SharedGraphRegistry` pins segment
+        ownership to that registry.
     store:
         A :class:`~repro.store.db.RunStore` (or a database path) making
         the grid *durable*: every cell is registered under its content
@@ -416,7 +424,7 @@ def run_cells(
 
         return run_cells_parallel(
             materialised, graph=graph, max_workers=int(parallel),
-            on_error=on_error, cache=cache, store=store,
+            on_error=on_error, cache=cache, store=store, shm=shm,
         )
     if store is None:
         return [_run_one(mc, graph, on_error) for mc in materialised]

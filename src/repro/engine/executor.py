@@ -110,7 +110,9 @@ def execute(
         extra["edges_scanned"] = _coerce(scanned)
     # Pointing-engine diagnostics (modeled vs. actual host work) ride
     # along too, so stored records can report the index engine's saving.
-    for key in ("pointing_engine", "host_entries_scanned"):
+    for key in ("pointing_engine", "host_entries_scanned",
+                "host_entries_scanned_pointing",
+                "host_entries_scanned_matching"):
         val = result.stats.get(key)
         if val is not None:
             extra[key] = _coerce(val)

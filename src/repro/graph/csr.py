@@ -97,6 +97,53 @@ class CSRGraph:
             name,
         )
 
+    @classmethod
+    def from_buffers(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Zero-copy graph over externally owned storage.
+
+        Intended for arrays mapped out of a shared-memory segment
+        (:mod:`repro.harness.shm`): the inputs are wrapped in *read-only
+        views* — no bytes are copied as long as each array is already
+        contiguous with the canonical dtype — so mutating the graph
+        through this object is impossible and mutating the underlying
+        buffer is the caller's contract to avoid.  The memoised
+        :attr:`degrees` / :meth:`canonical_edge_ids` derivations work
+        unchanged (they allocate fresh arrays; nothing is written back
+        into the buffers).  The caller keeps the buffers alive for the
+        graph's lifetime; numpy views hold a reference to the exporting
+        object, which pins ``SharedMemory`` mappings automatically.
+        """
+        views = []
+        for arr, dtype in (
+            (indptr, np.int64), (indices, np.int64), (weights, np.float64),
+        ):
+            v = np.ascontiguousarray(arr, dtype=dtype)
+            if v is arr:  # don't flip writability on the caller's array
+                v = v.view()
+            v.setflags(write=False)
+            views.append(v)
+        return cls(*views, name)
+
+    def export_buffers(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read-only views of ``(indptr, indices, weights)``.
+
+        The publish half of the shared-memory plane: callers copy these
+        into a segment (or hand them to :meth:`from_buffers` for an
+        in-process alias) without being able to corrupt the source.
+        """
+        out = []
+        for arr in (self.indptr, self.indices, self.weights):
+            v = arr.view()
+            v.setflags(write=False)
+            out.append(v)
+        return tuple(out)
+
     # ------------------------------------------------------------------ #
     # basic properties
     # ------------------------------------------------------------------ #

@@ -7,7 +7,8 @@ into it.  See DESIGN.md §4 for the experiment index.
 Grid execution lives in :mod:`repro.engine.cells` (``Cell`` /
 ``run_cells``); this package adds the process-parallel executor
 (:mod:`repro.harness.parallel`), the fingerprint-keyed on-disk
-:class:`~repro.harness.cache.GraphCache`, and the benchmark-regression
+:class:`~repro.harness.cache.GraphCache`, the zero-copy shared-memory
+graph plane (:mod:`repro.harness.shm`), and the benchmark-regression
 gate (:mod:`repro.harness.bench`).
 """
 
@@ -19,6 +20,14 @@ from repro.harness.bench import (
     write_bench_report,
 )
 from repro.harness.cache import GraphCache, default_cache_root
+from repro.harness.shm import (
+    SharedGraphRegistry,
+    SharedGraphSegment,
+    default_registry,
+    list_orphan_segments,
+    shm_enabled,
+    unlink_segment,
+)
 from repro.harness.datasets import (
     DATASETS,
     PLATFORMS,
@@ -60,6 +69,12 @@ __all__ = [
     "sweep_ld_gpu",
     "GraphCache",
     "default_cache_root",
+    "SharedGraphRegistry",
+    "SharedGraphSegment",
+    "default_registry",
+    "list_orphan_segments",
+    "shm_enabled",
+    "unlink_segment",
     "SUITES",
     "run_bench",
     "write_bench_report",

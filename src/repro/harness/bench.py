@@ -118,6 +118,20 @@ def tie_path_6000():
                     name="tie-path-6000")
 
 
+def tie_path_3000():
+    """P_3000, all weights equal: n/2 matching rounds over a tiny
+    pointing frontier — the matching phase dominates, so the full-scan
+    oracle pays Theta(n^2 / 2) host probes where the delta engine pays
+    O(m + n)."""
+    import numpy as np
+
+    from repro.graph.builders import from_coo
+
+    u = np.arange(2999)
+    return from_coo(u, u + 1, np.ones(2999), num_vertices=3000,
+                    name="tie-path-3000")
+
+
 #: Benchmark suites.  ``smoke`` runs on the tiny blossom-tractable
 #: quality instances so the whole suite (x repeats) costs seconds —
 #: small enough for a per-push CI gate while still crossing every
@@ -127,7 +141,13 @@ def tie_path_6000():
 #: (where re-pointing dominates and the index engine wins on wall
 #: time) plus one full-size analog pair recording the build-dominated
 #: regime honestly; sim_time stays the gated metric and is engine-
-#: independent by construction.
+#: independent by construction.  ``graph_plane`` guards the PR-6
+#: surfaces: matching-phase host work (``host_entries_scanned`` is
+#: deterministic, so it is gated like sim_time wherever the baseline
+#: recorded it) on round-heavy tie paths where the SetMates full scan
+#: is Theta(n * rounds), and — via the report's ``staging`` block — the
+#: zero-copy warm-start claim that attaching a shared-memory segment
+#: beats reloading the ``.npz`` snapshot.
 SUITES: dict[str, tuple[Workload, ...]] = {
     "smoke": (
         Workload("ld_gpu-1dev", "ld_gpu", "GAP-kron",
@@ -172,12 +192,84 @@ SUITES: dict[str, tuple[Workload, ...]] = {
         Workload("ld_seq-GAP-kron-segment", "ld_seq", "GAP-kron",
                  quality=False, overrides={"engine": "segment"}),
     ),
+    "graph_plane": (
+        Workload("ld_seq-tie-path-index", "ld_seq",
+                 build=tie_path_3000, quality=False,
+                 overrides={"engine": "index"}),
+        Workload("ld_seq-tie-path-segment", "ld_seq",
+                 build=tie_path_3000, quality=False,
+                 overrides={"engine": "segment"}),
+        Workload("ld_gpu-tie-clique-index", "ld_gpu",
+                 build=tie_clique_300, quality=False,
+                 config={"num_devices": 2, "num_batches": 2},
+                 overrides={"engine": "index"}),
+        Workload("ld_gpu-tie-clique-segment", "ld_gpu",
+                 build=tie_clique_300, quality=False,
+                 config={"num_devices": 2, "num_batches": 2},
+                 overrides={"engine": "segment"}),
+    ),
 }
 
 
 def _median(values: list[float]) -> float | None:
     vals = [v for v in values if v is not None]
     return statistics.median(vals) if vals else None
+
+
+def _measure_staging(build: Any, repeats: int) -> dict[str, Any]:
+    """Warm-start comparison: shared-memory attach vs ``.npz`` reload.
+
+    Stages one graph both ways a worker would see it — snapshot to a
+    throwaway :class:`~repro.harness.cache.GraphCache` and reload, vs
+    publish once and attach through a *fresh*
+    :class:`~repro.harness.shm.SharedGraphRegistry` (so every attach is
+    a cold map, not the owner's memoised fast path) — and reports the
+    medians plus their ratio.  The npz side benefits from the per-
+    process verification memo after the first load, so the reported
+    ``speedup`` is a conservative lower bound on what a spawned worker
+    actually saves.  ``speedup`` is ``None`` where the shared-memory
+    plane is unavailable.
+    """
+    import tempfile
+    import time
+
+    from repro.harness.cache import GraphCache
+    from repro.harness.shm import SharedGraphRegistry, shm_enabled
+
+    graph = build()
+    out: dict[str, Any] = {"graph": graph.name,
+                           "median_shm_attach_s": None,
+                           "speedup": None}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stage-") as td:
+        cache = GraphCache(td)
+        path, fingerprint = cache.store(graph)
+        npz_times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cache.load(path, fingerprint)
+            npz_times.append(time.perf_counter() - t0)
+        out["median_npz_load_s"] = statistics.median(npz_times)
+
+        if not shm_enabled():
+            return out
+        owner = SharedGraphRegistry()
+        attachers = []  # keep views alive until after the unlink
+        try:
+            segment = owner.publish(graph, fingerprint)
+            shm_times = []
+            for _ in range(repeats):
+                registry = SharedGraphRegistry()
+                t0 = time.perf_counter()
+                registry.attach(segment)
+                shm_times.append(time.perf_counter() - t0)
+                attachers.append(registry)
+        finally:
+            owner.unlink_all()
+        out["median_shm_attach_s"] = statistics.median(shm_times)
+        if out["median_shm_attach_s"] > 0:
+            out["speedup"] = (out["median_npz_load_s"]
+                              / out["median_shm_attach_s"])
+    return out
 
 
 def run_bench(
@@ -191,9 +283,14 @@ def run_bench(
 
     Every workload runs ``repeats`` times; ``median_sim_time_s`` (the
     gated metric — deterministic modeled seconds) and
-    ``median_wall_time_s`` (informational) are medians over the repeats.
-    A crashing workload reports ``status="error"`` with the error type
-    instead of killing the suite.
+    ``median_wall_time_s`` (informational) are medians over the repeats,
+    as is ``host_entries_scanned`` (deterministic host-engine work,
+    gated when the baseline recorded it; null under
+    ``collect_stats=False``).  A crashing workload reports
+    ``status="error"`` with the error type instead of killing the
+    suite.  The ``graph_plane`` suite additionally attaches a
+    ``staging`` block (:func:`_measure_staging`) comparing shared-
+    memory attach against ``.npz`` reload for a representative graph.
 
     ``store`` (a :class:`~repro.store.db.RunStore` or database path)
     appends every (workload, replicate) record to a durable, queryable
@@ -225,6 +322,12 @@ def run_bench(
             "median_wall_time_s": _median([r.wall_time_s for r in ok]),
             "weight": ok[0].weight if ok else None,
             "iterations": ok[0].iterations if ok else None,
+            # Deterministic like sim_time, so gated wherever the
+            # baseline recorded it (null when the algorithm ran with
+            # collect_stats=False).
+            "host_entries_scanned": _median(
+                [(r.extra or {}).get("host_entries_scanned")
+                 for r in ok]),
         }
         if entry["status"] == "error":
             bad = next(r for r in group if not r.ok)
@@ -244,7 +347,7 @@ def run_bench(
         used_store = str(store.path) if hasattr(store, "path") \
             else str(store)
 
-    return {
+    report: dict[str, Any] = {
         "schema": BENCH_SCHEMA_VERSION,
         "suite": suite,
         "repeats": repeats,
@@ -252,6 +355,10 @@ def run_bench(
         "provenance": build_manifest(dataset_cache=used_cache,
                                      run_store=used_store),
     }
+    if suite == "graph_plane":
+        report["staging"] = _measure_staging(tie_path_3000,
+                                             max(repeats, 3))
+    return report
 
 
 def bench_report_path(suite: str, root: "Path | str | None" = None) -> Path:
@@ -308,12 +415,16 @@ def compare_reports(
     """Regressions of ``current`` against ``baseline``.
 
     Returns human-readable problem strings (empty list = gate passes):
-    a workload whose gated metric (``median_sim_time_s``) exceeds the
-    baseline by more than ``tolerance`` (relative), went from ok to
+    a workload whose gated metric (``median_sim_time_s``, or
+    ``host_entries_scanned`` where the baseline recorded one) exceeds
+    the baseline by more than ``tolerance`` (relative), went from ok to
     error, or disappeared.  Faster-than-baseline and wall-clock changes
     never fail the gate; new workloads without a baseline entry are
     reported as advisory ``"new workload"`` lines only when the
-    baseline suite matches.
+    baseline suite matches.  When the baseline carries a ``staging``
+    block, the zero-copy invariant is held too: a current ``speedup``
+    below 1.0 (shared-memory attach slower than the ``.npz`` reload it
+    replaces) fails the gate.
     """
     problems: list[str] = []
     if current.get("suite") != baseline.get("suite"):
@@ -335,10 +446,25 @@ def compare_reports(
                 f"{err.get('message', '')})")
             continue
         bt, ct = b["median_sim_time_s"], c["median_sim_time_s"]
-        if bt is None or ct is None:
-            continue
-        if ct > bt * (1.0 + tolerance):
+        if bt is not None and ct is not None \
+                and ct > bt * (1.0 + tolerance):
             problems.append(
                 f"{name}: median_sim_time_s {ct:.6g}s exceeds baseline "
                 f"{bt:.6g}s by more than {100 * tolerance:.1f}%")
+        bh = b.get("host_entries_scanned")
+        ch = c.get("host_entries_scanned")
+        if bh is not None and ch is not None \
+                and ch > bh * (1.0 + tolerance):
+            problems.append(
+                f"{name}: host_entries_scanned {ch:.6g} exceeds "
+                f"baseline {bh:.6g} by more than "
+                f"{100 * tolerance:.1f}%")
+    b_staging = baseline.get("staging")
+    c_staging = current.get("staging") if b_staging else None
+    if b_staging and c_staging:
+        speedup = c_staging.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup < 1.0:
+            problems.append(
+                f"staging: shared-memory attach is slower than the npz "
+                f"reload it replaces (speedup {speedup:.3g}x < 1)")
     return problems

@@ -9,7 +9,8 @@ The cache stores each graph as a ``.npz`` snapshot named by its
 content hash every :class:`~repro.engine.record.RunRecord` carries in
 its provenance manifest — so an entry can never silently drift from the
 graph it claims to be: the fingerprint is re-derived from the loaded
-arrays and verified on every read.
+arrays and verified on first read (memoised per process thereafter —
+entries are content-addressed, so a verified path stays verified).
 
 Configuration (all overridable per :class:`GraphCache` instance):
 
@@ -36,6 +37,14 @@ _ENV_ROOT = "REPRO_GRAPH_CACHE"
 _ENV_ENTRIES = "REPRO_GRAPH_CACHE_ENTRIES"
 _DISABLED_VALUES = {"off", "0", "none", "false"}
 _DEFAULT_MAX_ENTRIES = 64
+
+#: ``(realpath, fingerprint)`` pairs this process has already verified.
+#: Snapshots are content-addressed and written atomically, so a path
+#: that once hashed to its fingerprint stays valid for the life of the
+#: process — re-deriving the hash on every warm load was pure overhead
+#: (shared across :class:`GraphCache` instances by design: they are
+#: cheap throwaway handles over the same directory).
+_VERIFIED: set[tuple[str, str]] = set()
 
 
 def default_cache_root() -> Path:
@@ -126,18 +135,25 @@ class GraphCache:
 
         Raises ``ValueError`` on a mismatch (truncated or stale file) —
         callers should rebuild rather than trust the entry.
+        Verification is memoised per ``(path, fingerprint)`` within the
+        process: a worker loading the same snapshot for its second cell
+        skips the re-hash (entries are content-addressed and written
+        atomically, so a verified path cannot silently change meaning).
         """
         from repro.graph.io import load_npz
         from repro.telemetry.provenance import graph_fingerprint
 
         graph = load_npz(path)
         if fingerprint is not None:
-            actual = graph_fingerprint(graph)
-            if actual != fingerprint:
-                raise ValueError(
-                    f"graph cache entry {path} is corrupt: expected "
-                    f"{fingerprint}, loaded content hashes to {actual}"
-                )
+            memo_key = (os.path.realpath(os.fspath(path)), fingerprint)
+            if memo_key not in _VERIFIED:
+                actual = graph_fingerprint(graph)
+                if actual != fingerprint:
+                    raise ValueError(
+                        f"graph cache entry {path} is corrupt: expected "
+                        f"{fingerprint}, loaded content hashes to {actual}"
+                    )
+                _VERIFIED.add(memo_key)
         self.hits += 1
         return graph
 

@@ -46,6 +46,7 @@ from repro.matching.ld_seq import compute_pointers, find_mutual_pairs
 from repro.matching.pointer_index import (
     HOST_SCAN_COUNTER,
     HOST_SCAN_HELP,
+    MutualIndex,
     PointerIndex,
     resolve_pointing_engine,
 )
@@ -235,15 +236,20 @@ def ld_gpu(
         ``platform.gpu_link``).  The multi-node extension injects a
         hierarchical NVLink+InfiniBand collective here.
     engine:
-        Host-side pointing engine: ``"index"`` builds one
+        Host-side engine for both phases: ``"index"`` builds one
         :class:`~repro.matching.pointer_index.PointerIndex` per device
-        partition (sorted adjacency + cursors, amortized O(m) host
-        work) while ``"segment"`` re-scans via
-        :func:`~repro.matching.ld_seq.compute_pointers` (the reference
-        oracle).  ``None`` consults ``REPRO_POINTING_ENGINE``
-        (default ``"index"``).  ``mate``, ``edges_scanned`` and
-        ``sim_time`` are bit-identical across engines — the choice only
-        moves actual host work (``stats["host_entries_scanned"]``).
+        partition (sorted adjacency + cursors) plus a global
+        :class:`~repro.matching.pointer_index.MutualIndex` (pointer-
+        delta mutual checks), amortized O(m) host work; ``"segment"``
+        re-scans via :func:`~repro.matching.ld_seq.compute_pointers`
+        and an unrestricted
+        :func:`~repro.matching.ld_seq.find_mutual_pairs` sweep (the
+        reference oracle, mirroring the modeled kernels).  ``None``
+        consults ``REPRO_POINTING_ENGINE`` (default ``"index"``).
+        ``mate``, ``edges_scanned`` and ``sim_time`` are bit-identical
+        across engines — the choice only moves actual host work
+        (``stats["host_entries_scanned"]`` and its per-phase
+        breakdown).
 
     Returns
     -------
@@ -280,6 +286,9 @@ def ld_gpu(
                 p.local_indptr, graph.indices[base:],
                 graph.weights[base:], eids[base:], row_offset=p.start,
             )
+    # The mutual check runs on the host over the *merged* pointers (one
+    # check per iteration, not per device), so one delta index suffices.
+    mutual = MutualIndex(n) if engine == "index" else None
     timeline = Timeline()
     # Component spans feed the timeline AND (when a metrics registry is
     # active, e.g. under the engine's MetricsSink) the telemetry
@@ -298,7 +307,8 @@ def ld_gpu(
 
     iterations = 0
     initial_transfer = 0.0
-    host_scanned = 0
+    host_pointing = 0
+    host_matching = 0
     degrees = graph.degrees
     while max_iterations is None or iterations < max_iterations:
         timeline.begin_iteration()
@@ -383,9 +393,7 @@ def ld_gpu(
         t_comp = max(computes) if computes else 0.0
         tel.emit("pointing", t_comp)
         tel.emit("batch_transfer", max(0.0, t_point - t_comp))
-        host_scanned += iter_host
-        count(HOST_SCAN_COUNTER, iter_host, HOST_SCAN_HELP,
-              algorithm="ld_gpu", engine=engine, device=spec.name)
+        host_pointing += iter_host
 
         # ---------------- allreduce(pointers) -------------------------- #
         # Each device contributes only its owned vertex range; everything
@@ -400,12 +408,21 @@ def ld_gpu(
         pointers_g = parts[0].pointers  # all equal after allreduce
 
         # ---------------- matching phase ------------------------------- #
-        # Pairs are discovered once from the merged pointers (restricting
-        # candidates to the frontier is exact — see find_mutual_pairs);
-        # each device's SetMates writes only the endpoints it owns, and the
-        # mate allreduce below reconstructs the global view, exactly as in
-        # Algorithm 2.
-        lo, hi = find_mutual_pairs(pointers_g, frontier)
+        # Pairs are discovered once from the merged pointers — the index
+        # engine probes only pointers that changed this round (every
+        # change lands inside the frontier), the segment oracle sweeps
+        # all vertices like the modeled kernel; each device's SetMates
+        # writes only the endpoints it owns, and the mate allreduce below
+        # reconstructs the global view, exactly as in Algorithm 2.
+        if mutual is not None:
+            lo, hi = mutual.find_pairs(pointers_g, frontier)
+            match_host = mutual.last_host_scanned
+        else:
+            lo, hi = find_mutual_pairs(pointers_g, None)
+            match_host = n
+        host_matching += match_host
+        count(HOST_SCAN_COUNTER, iter_host + match_host, HOST_SCAN_HELP,
+              algorithm="ld_gpu", engine=engine, device=spec.name)
         match_times = []
         for p in parts:
             own_lo = lo[(lo >= p.start) & (lo < p.stop)]
@@ -460,7 +477,9 @@ def ld_gpu(
         "config": LdGpuRun(platform.name, num_devices, nb,
                            vertices_per_warp, engine),
         "pointing_engine": engine,
-        "host_entries_scanned": host_scanned,
+        "host_entries_scanned": host_pointing + host_matching,
+        "host_entries_scanned_pointing": host_pointing,
+        "host_entries_scanned_matching": host_matching,
         "initial_transfer_s": initial_transfer,
         "device_peak_bytes": [p.device.memory.peak for p in parts],
         "partition_offsets": np.array(

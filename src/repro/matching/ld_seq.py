@@ -18,14 +18,17 @@ commits at least one edge.
 
 Pointing engines
 ----------------
-Two interchangeable engines drive the pointing phase (selected by the
+Two interchangeable engines drive *both* phases (selected by the
 ``engine`` parameter, default ``REPRO_POINTING_ENGINE`` then ``index``):
-the legacy *segment* engine re-scans each frontier vertex's whole
-adjacency every round (:func:`compute_pointers`, the reference oracle),
-while the *index* engine
-(:class:`~repro.matching.pointer_index.PointerIndex`) sorts each row
-once by ``(w, eid)`` and advances per-vertex cursors — bit-identical
-``mate``/``edges_scanned`` with amortized O(m) host work over the run.
+the *segment* engine is the reference oracle — it re-scans each
+frontier vertex's whole adjacency every pointing round
+(:func:`compute_pointers`) and re-probes every vertex's pointer every
+matching round (:func:`find_mutual_pairs` unrestricted, mirroring the
+modeled full-sweep SetMates kernel) — while the *index* engine pairs
+:class:`~repro.matching.pointer_index.PointerIndex` (sorted rows +
+cursors) with :class:`~repro.matching.pointer_index.MutualIndex`
+(pointer-delta mutual checks), making both phases amortized O(m) host
+work over a run with bit-identical ``mate``/``edges_scanned``.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from repro.graph.segments import gather_rows, segment_argmax_lex
 from repro.matching.pointer_index import (
     HOST_SCAN_COUNTER,
     HOST_SCAN_HELP,
+    MutualIndex,
     PointerIndex,
     resolve_pointing_engine,
 )
@@ -91,8 +95,9 @@ def find_mutual_pairs(
     *new* mutual pair has at least one endpoint that re-pointed this round
     (two stale mutual pointers would have matched in the previous round),
     so passing the frontier finds every new pair while scanning only the
-    re-pointed vertices.  LD-GPU also uses the restriction per device
-    partition.
+    re-pointed vertices.  Unrestricted, this is the full-scan oracle the
+    :class:`~repro.matching.pointer_index.MutualIndex` delta engine is
+    verified against (and internally narrows candidates for).
     """
     if candidates is None:
         candidates = np.nonzero(pointer >= 0)[0]
@@ -135,11 +140,13 @@ def ld_seq(
         remain arg-maxima) and matches the per-iteration edge-traffic decay
         the paper measures in Fig. 8.
     engine:
-        Pointing engine: ``"index"`` (sorted-adjacency cursors, amortized
-        O(m) host work) or ``"segment"`` (full re-scan reference oracle).
+        Host engine for both phases: ``"index"`` (sorted-adjacency
+        cursors + pointer-delta mutual checks, amortized O(m) host work)
+        or ``"segment"`` (full re-scan reference oracle, both phases).
         ``None`` consults ``REPRO_POINTING_ENGINE``, defaulting to
-        ``"index"``.  The engines produce bit-identical results; only the
-        host-side work differs (``stats["host_entries_scanned"]``).
+        ``"index"``.  The engines produce bit-identical results; only
+        the host-side work differs (``stats["host_entries_scanned"]``
+        and its per-phase breakdown).
     """
     engine = resolve_pointing_engine(engine)
     n = graph.num_vertices
@@ -148,12 +155,14 @@ def ld_seq(
     eids = graph.canonical_edge_ids()
     index = PointerIndex(graph.indptr, graph.indices, graph.weights,
                          eids) if engine == "index" else None
+    mutual = MutualIndex(n) if engine == "index" else None
 
     frontier = np.arange(n, dtype=np.int64)
     edges_scanned: list[int] = []
     new_matches: list[int] = []
     frontier_sizes: list[int] = []
-    host_scanned = 0
+    host_pointing = 0
+    host_matching = 0
 
     iterations = 0
     while max_iterations is None or iterations < max_iterations:
@@ -166,14 +175,20 @@ def ld_seq(
                 mate, pointer, frontier,
             )
             iter_host = scanned
-        host_scanned += iter_host
-        count(HOST_SCAN_COUNTER, iter_host, HOST_SCAN_HELP,
+        host_pointing += iter_host
+        # Matching phase.  The index engine probes only vertices whose
+        # pointer changed this round (every change happens inside the
+        # frontier, so passing it is exhaustive); the segment oracle
+        # re-probes everything, like the modeled SetMates sweep.
+        if mutual is not None:
+            matched_lo, matched_hi = mutual.find_pairs(pointer, frontier)
+            match_host = mutual.last_host_scanned
+        else:
+            matched_lo, matched_hi = find_mutual_pairs(pointer, None)
+            match_host = n
+        host_matching += match_host
+        count(HOST_SCAN_COUNTER, iter_host + match_host, HOST_SCAN_HELP,
               algorithm="ld_seq", engine=engine)
-        # Restricting the mutual check to the frontier is exact: a pair
-        # with two surviving (un-re-pointed) pointers matched last round.
-        matched_lo, matched_hi = find_mutual_pairs(
-            pointer, None if full_rescan else frontier
-        )
         if collect_stats:
             edges_scanned.append(scanned)
             frontier_sizes.append(len(frontier))
@@ -201,7 +216,9 @@ def ld_seq(
             "new_matches": np.asarray(new_matches, dtype=np.int64),
             "frontier_sizes": np.asarray(frontier_sizes, dtype=np.int64),
             "pointing_engine": engine,
-            "host_entries_scanned": host_scanned,
+            "host_entries_scanned": host_pointing + host_matching,
+            "host_entries_scanned_pointing": host_pointing,
+            "host_entries_scanned_matching": host_matching,
         }
     return MatchResult(
         mate=mate,

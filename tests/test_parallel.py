@@ -205,6 +205,31 @@ class TestGraphCache:
         monkeypatch.setenv("REPRO_GRAPH_CACHE", "/tmp/somewhere")
         assert not cache_disabled()
 
+    def test_verification_memoised_per_path(self, medium_graph,
+                                            tmp_path, monkeypatch):
+        """The fingerprint is re-derived on the first load of a path
+        only — warm loads (a worker's second cell) skip the re-hash."""
+        import repro.telemetry.provenance as prov
+
+        cache = GraphCache(tmp_path)
+        path, fp = cache.store(medium_graph)
+        calls = {"n": 0}
+        real = prov.graph_fingerprint
+
+        def counting(graph):
+            calls["n"] += 1
+            return real(graph)
+
+        monkeypatch.setattr(prov, "graph_fingerprint", counting)
+        cache.load(path, fp)
+        assert calls["n"] == 1  # cold: verified
+        cache.load(path, fp)
+        GraphCache(tmp_path).load(path, fp)  # memo spans instances
+        assert calls["n"] == 1  # warm: memoised
+        # Loading without an expected fingerprint never verifies.
+        cache.load(path)
+        assert calls["n"] == 1
+
 
 class TestExecuteApi:
     def test_execute_accepts_spec_object(self, medium_graph):
@@ -257,6 +282,37 @@ class TestBench:
         dropped = partial["workloads"].pop()
         problems = compare_reports(partial, report)
         assert any(dropped["name"] in p for p in problems)
+
+    def test_graph_plane_host_and_staging_gates(self):
+        report = run_bench("graph_plane", repeats=1)
+        validate_bench_report(report)
+        assert all(w["status"] == "ok" for w in report["workloads"])
+        # Every workload records its deterministic host-engine work,
+        # and the suite measured the warm-start comparison.
+        assert all(w["host_entries_scanned"] is not None
+                   for w in report["workloads"])
+        assert report["staging"]["median_npz_load_s"] > 0
+        assert compare_reports(report, report) == []
+        # More host work than the baseline recorded fails the gate.
+        worse = json.loads(json.dumps(report))
+        w = next(x for x in worse["workloads"]
+                 if x["host_entries_scanned"])
+        w["host_entries_scanned"] *= 2
+        problems = compare_reports(worse, report)
+        assert len(problems) == 1
+        assert "host_entries_scanned" in problems[0]
+        # shm attach regressing past the npz reload fails the gate.
+        slower = json.loads(json.dumps(report))
+        slower["staging"]["speedup"] = 0.5
+        problems = compare_reports(slower, report)
+        assert any("staging" in p for p in problems)
+        # A baseline without the metric gates sim_time only (upgrade
+        # path: old baselines keep working).
+        legacy = json.loads(json.dumps(report))
+        for x in legacy["workloads"]:
+            x.pop("host_entries_scanned")
+        legacy.pop("staging")
+        assert compare_reports(worse, legacy) == []
 
     def test_validate_rejects_malformed(self):
         with pytest.raises(ValueError, match="schema"):

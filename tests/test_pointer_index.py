@@ -30,6 +30,7 @@ from repro.matching.pointer_index import (
     DEFAULT_POINTING_ENGINE,
     HOST_SCAN_COUNTER,
     POINTING_ENGINE_ENV,
+    MutualIndex,
     PointerIndex,
     resolve_pointing_engine,
 )
@@ -237,15 +238,105 @@ def test_empty_frontier_and_empty_graph():
 
 def test_host_scanned_amortized(medium_graph):
     """Across a whole run the index engine examines each adjacency
-    entry at most once past its first visit: host work is bounded by
-    m + total frontier size, far below the modeled O(m x rounds)."""
+    entry at most once past its first visit: pointing work is bounded
+    by m + total frontier size, matching work by the total number of
+    pointer-value changes (<= m + n: each vertex's pointer only walks
+    down its sorted row before going UNMATCHED) — both far below the
+    modeled O(m x rounds) / O(n x rounds) full sweeps."""
     r = ld_seq(medium_graph, engine="index")
     host = r.stats["host_entries_scanned"]
+    pointing = r.stats["host_entries_scanned_pointing"]
+    matching = r.stats["host_entries_scanned_matching"]
     modeled = int(np.sum(r.stats["edges_scanned"]))
     m = medium_graph.num_directed_edges
     n = medium_graph.num_vertices
-    assert 0 < host <= modeled
-    assert host <= m + n * r.iterations
+    assert host == pointing + matching
+    assert 0 < pointing <= modeled
+    assert pointing <= m + n * r.iterations
+    assert 0 < matching <= m + 2 * n
+    assert matching < n * r.iterations  # the oracle's matching bill
+
+
+def test_matching_phase_breakdown_vs_oracle(medium_graph):
+    """The segment oracle charges its full sweeps honestly — n probes
+    per round in the matching phase — while producing the identical
+    result; the breakdown keys expose exactly that gap."""
+    ri = ld_seq(medium_graph, engine="index")
+    rs = ld_seq(medium_graph, engine="segment")
+    assert_same_run(ri, rs)
+    n = medium_graph.num_vertices
+    assert rs.stats["host_entries_scanned_matching"] \
+        == n * rs.iterations
+    assert ri.stats["host_entries_scanned_matching"] \
+        < rs.stats["host_entries_scanned_matching"]
+    assert rs.stats["host_entries_scanned"] \
+        == rs.stats["host_entries_scanned_pointing"] \
+        + rs.stats["host_entries_scanned_matching"]
+
+
+def _lockstep_rounds(g, full_rescan=False, max_rounds=400):
+    """Drive Algorithm 1's loop with the full-scan matching oracle and
+    a :class:`MutualIndex` side by side, yielding both pair sets every
+    round — the oracle-identity harness for the delta engine."""
+    n = g.num_vertices
+    eids = g.canonical_edge_ids()
+    mate = np.full(n, UNMATCHED, dtype=np.int64)
+    pointer = np.full(n, UNMATCHED, dtype=np.int64)
+    mutual = MutualIndex(n)
+    frontier = np.arange(n, dtype=np.int64)
+    for _ in range(max_rounds):
+        compute_pointers(g.indptr, g.indices, g.weights, eids,
+                         mate, pointer, frontier)
+        oracle = find_mutual_pairs(pointer, None)
+        delta = mutual.find_pairs(pointer, frontier)
+        yield oracle, delta, mutual.last_host_scanned, len(frontier)
+        lo, hi = oracle
+        if len(lo) == 0:
+            return
+        mate[lo] = hi
+        mate[hi] = lo
+        pointer[lo] = UNMATCHED
+        pointer[hi] = UNMATCHED
+        if full_rescan:
+            frontier = np.nonzero(mate == UNMATCHED)[0]
+        else:
+            live = np.nonzero((mate == UNMATCHED) & (pointer >= 0))[0]
+            frontier = live[mate[pointer[live]] != UNMATCHED]
+
+
+@pytest.mark.parametrize("full_rescan", [False, True])
+def test_mutual_index_lockstep_with_oracle(full_rescan):
+    """Round by round on a tie-heavy graph, the delta engine reports
+    the oracle's exact pair rows while probing only changed pointers."""
+    g = tie_heavy(rmat_graph(7, 6, seed=11, name="lockstep"))
+    rounds = 0
+    for oracle, delta, probed, fsize in _lockstep_rounds(
+            g, full_rescan=full_rescan):
+        assert np.array_equal(oracle[0], delta[0])
+        assert np.array_equal(oracle[1], delta[1])
+        assert probed <= fsize  # never more than the re-pointed set
+        rounds += 1
+    assert rounds > 1
+
+
+@given(g=random_graphs(tie_prone=True))
+def test_mutual_index_lockstep_random(g):
+    for oracle, delta, _, _ in _lockstep_rounds(g):
+        assert np.array_equal(oracle[0], delta[0])
+        assert np.array_equal(oracle[1], delta[1])
+
+
+def test_mutual_index_none_diffs_whole_array():
+    """``candidates=None`` self-detects changes against ``prev``."""
+    pointer = np.array([1, 0, UNMATCHED, UNMATCHED], dtype=np.int64)
+    mutual = MutualIndex(4)
+    lo, hi = mutual.find_pairs(pointer, None)
+    assert np.array_equal(lo, [0]) and np.array_equal(hi, [1])
+    assert mutual.last_host_scanned == 2  # the two changed entries
+    # Nothing changed: nothing probed, nothing (re-)reported.
+    lo, hi = mutual.find_pairs(pointer, None)
+    assert len(lo) == 0 and mutual.last_host_scanned == 0
+    assert mutual.host_entries_scanned == 2
 
 
 def test_row_offset_matches_global(medium_graph):
@@ -356,6 +447,24 @@ def test_pointing_suite_shape():
     assert g.num_vertices == 300
     assert np.all(g.weights == 1.0)
     assert tie_path_6000().num_directed_edges == 2 * 5999
+
+
+def test_graph_plane_suite_shape():
+    from repro.harness.bench import SUITES, tie_path_3000
+
+    suite = SUITES["graph_plane"]
+    names = {w.name for w in suite}
+    for name in names:
+        if name.endswith("-index"):
+            assert name[:-6] + "-segment" in names
+    g = tie_path_3000()
+    assert g.num_vertices == 3000
+    assert g.num_directed_edges == 2 * 2999
+    assert np.all(g.weights == 1.0)
+    # Stats stay on for every workload: host_entries_scanned is the
+    # suite's gated metric.
+    assert not any(w.overrides.get("collect_stats") is False
+                   for w in suite)
 
 
 def test_run_cells_builder_graph():
