@@ -1,0 +1,42 @@
+"""Analysis & reporting plane: read the run store, tell the story.
+
+Everything upstream of this package *produces* runs — the engine
+executes cells, the store persists them, the bench harness gates them.
+This package is the read side: :mod:`~repro.analysis.queries` slices
+the store with typed filters and lazy aggregation,
+:mod:`~repro.analysis.stats_tests` decides which differences are real
+(scipy-optional), :mod:`~repro.analysis.trajectory` tracks the gated
+bench metrics across commits, and :mod:`~repro.analysis.report`
+renders all of it as a dependency-free static HTML/markdown/JSON
+report (``repro report``).
+"""
+
+from repro.analysis.queries import (  # noqa: F401
+    Aggregate,
+    ResultSet,
+    RunQuery,
+)
+from repro.analysis.report import (  # noqa: F401
+    build_report_data,
+    write_report,
+)
+from repro.analysis.stats_tests import (  # noqa: F401
+    bootstrap_median_ci,
+    wilcoxon_signed_rank,
+)
+from repro.analysis.trajectory import (  # noqa: F401
+    flag_regressions,
+    suite_trajectories,
+)
+
+__all__ = [
+    "Aggregate",
+    "ResultSet",
+    "RunQuery",
+    "build_report_data",
+    "write_report",
+    "bootstrap_median_ci",
+    "wilcoxon_signed_rank",
+    "flag_regressions",
+    "suite_trajectories",
+]

@@ -1,0 +1,708 @@
+"""One-command report: the paper's story, recomputed from the store.
+
+``repro report --store runs.db --out report/`` turns a run store into
+a standalone document: the paper's tables recomputed from whatever
+runs the store actually holds, significance tests over the paired
+per-graph timings, bench trend lines with the CI gate's verdict, a
+timeline-reconciliation check, and a provenance appendix saying
+exactly which code/environment produced every number.
+
+The HTML output is dependency-free by construction — stdlib
+``string.Template`` over :mod:`repro.analysis.templates`, inline SVG
+charts, CSS custom properties for light/dark, **no JavaScript and no
+network fetches** — so the artifact a CI job uploads renders anywhere,
+forever.  Every chart sits next to the table of the same numbers
+(identity is never carried by color alone, and a text-mode reader
+loses nothing).  ``--format md|json`` render the same data dict
+through :mod:`repro.harness.report` / ``json.dumps`` for terminals
+and machines.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import time
+from pathlib import Path
+from typing import Any, TYPE_CHECKING
+
+from repro.analysis.queries import ResultSet, RunQuery, metric_value
+from repro.analysis.stats_tests import (
+    holm_adjust,
+    rank_table,
+    wilcoxon_signed_rank,
+)
+from repro.analysis.trajectory import (
+    flag_regressions,
+    suite_trajectories,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.db import RunStore
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "build_report_data",
+    "render_html",
+    "render_markdown",
+    "render_json",
+    "write_report",
+    "resolve_since",
+]
+
+REPORT_SCHEMA_VERSION = 1
+
+#: ``|sim_time - sum(timeline_totals)|`` beyond this (relative to the
+#: larger of the two, floored at 1e-12 absolute) counts as a
+#: reconciliation mismatch.
+RECONCILE_RTOL = 1e-9
+
+
+def resolve_since(value: str | None) -> dict[str, Any]:
+    """Parse a ``--since`` argument: ISO date(/time) → a ``created_at``
+    lower bound; anything else → a git-describe prefix filter."""
+    if not value:
+        return {}
+    for fmt in ("%Y-%m-%d", "%Y-%m-%dT%H:%M:%S", "%Y-%m-%d %H:%M:%S"):
+        try:
+            return {"since": time.mktime(time.strptime(value, fmt))}
+        except ValueError:
+            continue
+    return {"git": value}
+
+
+# ------------------------------------------------------------------ #
+# data assembly
+# ------------------------------------------------------------------ #
+
+
+def _per_graph_medians(rs: ResultSet, metric: str
+                       ) -> dict[str, dict[str, float]]:
+    """graph → {algorithm: median metric} over ok records."""
+    out: dict[str, dict[str, float]] = {}
+    for (graph, algo), agg in rs.aggregate(
+            metric, by=("graph", "algorithm")).items():
+        out.setdefault(str(graph), {})[str(algo)] = agg.median
+    return out
+
+
+def _significance(per_graph: dict[str, dict[str, float]]
+                  ) -> dict[str, Any]:
+    """Pairwise Wilcoxon over paired per-graph medians + rank table."""
+    algos = sorted({a for d in per_graph.values() for a in d})
+    pairs = []
+    for i, a in enumerate(algos):
+        for b in algos[i + 1:]:
+            common = [g for g, d in per_graph.items()
+                      if a in d and b in d]
+            if len(common) < 2:
+                continue
+            xs = [per_graph[g][a] for g in common]
+            ys = [per_graph[g][b] for g in common]
+            res = wilcoxon_signed_rank(xs, ys)
+            faster = None
+            wins_a = sum(1 for x, y in zip(xs, ys) if x < y)
+            wins_b = sum(1 for x, y in zip(xs, ys) if y < x)
+            if wins_a != wins_b:
+                faster = a if wins_a > wins_b else b
+            pairs.append({"a": a, "b": b, "n_graphs": len(common),
+                          "statistic": res.statistic,
+                          "p_value": res.p_value,
+                          "method": res.method, "faster": faster})
+    for p, adj in zip(pairs, holm_adjust([p["p_value"]
+                                          for p in pairs])):
+        p["p_adjusted"] = adj
+    ranks = [{"algorithm": str(g), "avg_rank": r, "n_graphs": n}
+             for g, r, n in rank_table(per_graph)]
+    return {"pairs": pairs, "ranks": ranks}
+
+
+def _quality(rs: ResultSet) -> dict[str, Any]:
+    """Matched weight per (graph, algorithm), as a ratio against the
+    exact reference — ``blossom`` where it ran, else the best weight
+    seen on that graph (the paper's Table-5 shape)."""
+    per_graph = _per_graph_medians(rs, "weight")
+    if not per_graph:
+        return {"headers": [], "rows": [], "reference": None}
+    algos = sorted({a for d in per_graph.values() for a in d})
+    have_blossom = any("blossom" in d for d in per_graph.values())
+    rows = []
+    for graph in sorted(per_graph):
+        d = per_graph[graph]
+        ref = d.get("blossom") if have_blossom else None
+        if ref is None:
+            ref = max(d.values())
+        row: list[Any] = [graph]
+        for a in algos:
+            w = d.get(a)
+            row.append(None if w is None or not ref else w / ref)
+        rows.append(row)
+    return {"headers": ["graph"] + algos, "rows": rows,
+            "reference": "blossom" if have_blossom else "best"}
+
+
+def _reconciliation(rs: ResultSet) -> dict[str, Any]:
+    """Cross-check: modeled ``sim_time`` vs the sum of the per-
+    component ``timeline_totals`` the simulator accounted it into."""
+    checked = ok = 0
+    max_diff = 0.0
+    worst = None
+    for rec in rs.ok_records:
+        totals = rec.timeline_totals
+        if not totals or rec.sim_time is None:
+            continue
+        checked += 1
+        total = sum(totals.values())
+        diff = abs(rec.sim_time - total)
+        bound = max(abs(rec.sim_time), abs(total)) * RECONCILE_RTOL \
+            + 1e-12
+        if diff <= bound:
+            ok += 1
+        if diff > max_diff:
+            max_diff = diff
+            worst = {"algorithm": rec.algorithm, "graph": rec.graph,
+                     "sim_time": rec.sim_time,
+                     "timeline_sum": total, "diff": diff}
+    return {"n_checked": checked, "n_ok": ok,
+            "n_mismatched": checked - ok,
+            "max_abs_diff": max_diff, "worst": worst,
+            "rtol": RECONCILE_RTOL}
+
+
+def _provenance(rs: ResultSet, store: "RunStore") -> dict[str, Any]:
+    """Distinct producing environments, with run counts."""
+    envs: dict[tuple, int] = {}
+    schemas: dict[int, int] = {}
+    for row in rs.rows:
+        schemas[row.record_schema] = schemas.get(row.record_schema,
+                                                 0) + 1
+    for rec in rs.records:
+        p = rec.provenance or {}
+        key = (p.get("git"), p.get("python"), p.get("numpy"),
+               p.get("host_platform"))
+        envs[key] = envs.get(key, 0) + 1
+    environments = [
+        {"git": k[0], "python": k[1], "numpy": k[2],
+         "host_platform": k[3], "n_records": n}
+        for k, n in sorted(envs.items(),
+                           key=lambda kv: (-kv[1], str(kv[0])))
+    ]
+    return {"environments": environments,
+            "record_schemas": {str(k): v
+                               for k, v in sorted(schemas.items())},
+            "store_path": str(store.path)}
+
+
+def build_report_data(
+    store: "RunStore",
+    *,
+    since: float | None = None,
+    git: str | None = None,
+    suites: "list[str] | None" = None,
+    tolerance: float = 0.05,
+    bench_dir: "Path | str | None" = None,
+) -> dict[str, Any]:
+    """Everything the renderers need, as one JSON-safe dict.
+
+    Computed entirely from the store (plus the committed baseline
+    files for trajectory anchors): paper tables over the ``done``
+    records matching the filters, pairwise significance, bench
+    trajectories with gate flags, reconciliation, and provenance.
+    """
+    query = RunQuery(status="done", since=since, git=git)
+    rs = ResultSet(store, query)
+
+    counts = store.counts()
+    created = [row.created_at for row in rs.rows]
+    per_graph_sim = _per_graph_medians(rs, "sim_time")
+
+    headers, rows = rs.pivot("sim_time", row_key="graph",
+                             col_key="algorithm", stat="median")
+    ns = rs.aggregate("sim_time", by=("graph", "algorithm"))
+
+    trajectories = suite_trajectories(store, bench_dir=bench_dir,
+                                      suites=suites)
+    flags = flag_regressions(trajectories, tolerance=tolerance)
+
+    data: dict[str, Any] = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "title": "Weighted graph matching — reproduction report",
+        "generated_at": time.time(),
+        "filters": query.describe(),
+        "tolerance": tolerance,
+        "overview": {
+            "counts": counts,
+            "n_rows": len(rs.rows),
+            "n_records": len(rs.ok_records),
+            "algorithms": sorted({r.algorithm for r in rs.ok_records}),
+            "graphs": sorted({r.graph for r in rs.ok_records}),
+            "first_created_at": min(created) if created else None,
+            "last_created_at": max(created) if created else None,
+        },
+        "exec_table": {
+            "metric": "sim_time", "stat": "median",
+            "headers": headers, "rows": rows,
+            "replicates": {f"{g}/{a}": agg.n
+                           for (g, a), agg in ns.items()},
+        },
+        "quality": _quality(rs),
+        "significance": _significance(per_graph_sim),
+        "trajectories": {
+            suite: {entry: [p.to_dict() for p in points]
+                    for entry, points in entries.items()}
+            for suite, entries in trajectories.items()
+        },
+        "regressions": [f.to_dict() for f in flags],
+        "regressions_flagged": sum(1 for f in flags if f.flagged),
+        "reconciliation": _reconciliation(rs),
+        "provenance": _provenance(rs, store),
+    }
+    return data
+
+
+# ------------------------------------------------------------------ #
+# SVG charts (inline, static, token-colored)
+# ------------------------------------------------------------------ #
+#
+# Mark specs: 2px lines with round joins/caps, >=8px markers wearing a
+# 2px surface ring, bars <=24px thick with the rounding only on the
+# data end, hairline gridlines in the grid token, all text in text
+# tokens (never the series color).  Colors are CSS custom properties,
+# so the same SVG follows the page's light/dark palette.
+
+
+def _esc(v: Any) -> str:
+    return html.escape(str(v), quote=True)
+
+
+def _fmt(v: Any, spec: str = ".4g") -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        return format(v, spec)
+    return str(v)
+
+
+def svg_trend(values: "list[float | None]", *,
+              flagged: bool = False, width: int = 280,
+              height: int = 72, aria: str = "") -> str:
+    """A single-series trend line (one metric over time).
+
+    ``None`` gaps are skipped; the last marker turns critical-red when
+    ``flagged``.  Single series → no legend (the figure caption names
+    it)."""
+    pts = [(i, float(v)) for i, v in enumerate(values)
+           if v is not None]
+    if not pts:
+        return ""
+    pad = 10
+    lo = min(v for _, v in pts)
+    hi = max(v for _, v in pts)
+    span = (hi - lo) or (abs(hi) or 1.0)
+    nx = max(len(values) - 1, 1)
+
+    def x(i: float) -> float:
+        return pad + (width - 2 * pad) * (i / nx)
+
+    def y(v: float) -> float:
+        return height - pad - (height - 2 * pad) * ((v - lo) / span)
+
+    grid = "".join(
+        f'<line x1="{pad}" y1="{gy:.1f}" x2="{width - pad}" '
+        f'y2="{gy:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        for gy in (y(lo), y(lo + span / 2), y(hi)))
+    line = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in pts)
+    poly = (f'<polyline points="{line}" fill="none" '
+            f'stroke="var(--series-1)" stroke-width="2" '
+            f'stroke-linejoin="round" stroke-linecap="round"/>') \
+        if len(pts) > 1 else ""
+    marks = []
+    for j, (i, v) in enumerate(pts):
+        last = j == len(pts) - 1
+        fill = "var(--critical)" if (flagged and last) \
+            else "var(--series-1)"
+        marks.append(
+            f'<circle cx="{x(i):.1f}" cy="{y(v):.1f}" r="4" '
+            f'fill="{fill}" stroke="var(--surface)" '
+            f'stroke-width="2"/>')
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{_esc(aria)}">{grid}{poly}{"".join(marks)}'
+        f'</svg>')
+
+
+def svg_bars(pairs: "list[tuple[str, float]]", *, width: int = 460,
+             aria: str = "") -> str:
+    """Horizontal magnitude bars, one hue (identity lives in the row
+    labels), 18px thick, rounded only at the data end, value labels in
+    secondary ink."""
+    if not pairs:
+        return ""
+    label_w, bar_h, gap, pad = 150, 18, 8, 4
+    vmax = max(v for _, v in pairs) or 1.0
+    span = width - label_w - 70
+    height = pad * 2 + len(pairs) * (bar_h + gap) - gap
+    parts = [f'<line x1="{label_w}" y1="{pad}" x2="{label_w}" '
+             f'y2="{height - pad}" stroke="var(--axis)" '
+             f'stroke-width="1"/>']
+    for k, (label, v) in enumerate(pairs):
+        top = pad + k * (bar_h + gap)
+        length = max(span * (v / vmax), 1.0)
+        r = min(4.0, length, bar_h / 2)
+        path = (f"M{label_w},{top} h{length - r:.1f} "
+                f"a{r},{r} 0 0 1 {r},{r} v{bar_h - 2 * r:.1f} "
+                f"a{r},{r} 0 0 1 -{r},{r} h-{length - r:.1f} z")
+        parts.append(f'<path d="{path}" fill="var(--series-1)"/>')
+        parts.append(
+            f'<text x="{label_w - 6}" y="{top + bar_h - 5}" '
+            f'text-anchor="end" fill="var(--text-2)">'
+            f'{_esc(label)}</text>')
+        parts.append(
+            f'<text x="{label_w + length + 6:.1f}" '
+            f'y="{top + bar_h - 5}" fill="var(--text-2)">'
+            f'{_esc(_fmt(v))}</text>')
+    return (f'<svg width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}" role="img" '
+            f'aria-label="{_esc(aria)}">{"".join(parts)}</svg>')
+
+
+# ------------------------------------------------------------------ #
+# HTML rendering
+# ------------------------------------------------------------------ #
+
+
+def _html_table(headers: "list[str]", rows: "list[list[Any]]",
+                fmt: str = ".4g") -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = []
+    for row in rows:
+        cells = "".join(f"<td>{_esc(_fmt(c, fmt))}</td>" for c in row)
+        body.append(f"<tr>{cells}</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
+
+
+def _tile(value: Any, label: str) -> str:
+    return (f'<div class="tile"><div class="v">{_esc(value)}</div>'
+            f'<div class="k">{_esc(label)}</div></div>')
+
+
+def _status(ok: bool, text: str) -> str:
+    cls = "good" if ok else "critical"
+    mark = "✓" if ok else "✗"
+    return (f'<span class="status {cls}"><span class="dot"></span>'
+            f'{mark} {_esc(text)}</span>')
+
+
+def _section_overview(data: dict[str, Any]) -> str:
+    ov = data["overview"]
+    counts = ov["counts"]
+    tiles = [
+        _tile(ov["n_records"], "runs analysed"),
+        _tile(counts.get("done", 0), "done in store"),
+        _tile(counts.get("error", 0), "errors"),
+        _tile(len(ov["algorithms"]), "algorithms"),
+        _tile(len(ov["graphs"]), "graphs"),
+    ]
+    span = ""
+    if ov["first_created_at"]:
+        f = time.strftime("%Y-%m-%d %H:%M",
+                          time.localtime(ov["first_created_at"]))
+        t = time.strftime("%Y-%m-%d %H:%M",
+                          time.localtime(ov["last_created_at"]))
+        span = (f'<p class="muted">store rows span {_esc(f)} → '
+                f'{_esc(t)}; filters: '
+                f'{_esc(data["filters"])}</p>')
+    return (f'<h2>Overview</h2><div class="tiles">{"".join(tiles)}'
+            f'</div>{span}')
+
+
+def _section_exec(data: dict[str, Any]) -> str:
+    t = data["exec_table"]
+    if not t["rows"]:
+        return ("<h2>Execution times</h2>"
+                '<p class="muted">No completed runs matched.</p>')
+    charts = []
+    for row in t["rows"]:
+        graph = row[0]
+        pairs = [(algo, v) for algo, v in zip(t["headers"][1:],
+                                              row[1:])
+                 if v is not None]
+        if len(pairs) > 1:
+            charts.append(
+                f"<figure>{svg_bars(pairs, aria=f'median sim_time on {graph}')}"
+                f"<figcaption>median modeled seconds on "
+                f"{_esc(graph)} (lower is better)</figcaption>"
+                f"</figure>")
+    return (
+        "<h2>Execution times</h2>"
+        "<p>Median modeled seconds (<code>sim_time</code>) per "
+        "(graph, algorithm), recomputed from the stored records — "
+        "the paper's execution-time table over whatever this store "
+        "actually ran.</p>"
+        + _html_table(t["headers"], t["rows"])
+        + f'<div class="chartrow">{"".join(charts)}</div>')
+
+
+def _section_quality(data: dict[str, Any]) -> str:
+    q = data["quality"]
+    if not q["rows"]:
+        return ""
+    ref = ("the exact blossom optimum" if q["reference"] == "blossom"
+           else "the best weight observed per graph")
+    return (
+        "<h2>Matching quality</h2>"
+        f"<p>Matched weight as a fraction of {ref} "
+        "(1.000 = reference).</p>"
+        + _html_table(q["headers"], q["rows"], fmt=".4f"))
+
+
+def _section_significance(data: dict[str, Any]) -> str:
+    sig = data["significance"]
+    if not sig["pairs"] and not sig["ranks"]:
+        return ""
+    out = ["<h2>Significance</h2>"]
+    if sig["pairs"]:
+        out.append(
+            "<p>Two-sided Wilcoxon signed-rank over paired per-graph "
+            "median <code>sim_time</code>; p-values Holm-adjusted "
+            "across the family.</p>")
+        rows = [[f'{p["a"]} vs {p["b"]}', p["n_graphs"],
+                 p["statistic"], p["p_value"], p["p_adjusted"],
+                 p["faster"] or "—", p["method"]]
+                for p in sig["pairs"]]
+        out.append(_html_table(
+            ["pair", "graphs", "W", "p", "p (holm)", "faster",
+             "engine"], rows))
+    if sig["ranks"]:
+        out.append("<h3>Average ranks (lower is better)</h3>")
+        out.append(_html_table(
+            ["algorithm", "avg rank", "graphs"],
+            [[r["algorithm"], r["avg_rank"], r["n_graphs"]]
+             for r in sig["ranks"]], fmt=".2f"))
+    return "".join(out)
+
+
+def _section_trajectories(data: dict[str, Any]) -> str:
+    trajs = data["trajectories"]
+    if not trajs:
+        return ("<h2>Bench trajectories</h2>"
+                '<p class="muted">No bench baselines or stored bench '
+                "runs found.</p>")
+    flagged = {(f["suite"], f["entry"], f["metric"])
+               for f in data["regressions"] if f["flagged"]}
+    out = ["<h2>Bench trajectories</h2>",
+           "<p>Gated bench metrics across commits: the committed "
+           "baseline anchors each series, store-recorded bench runs "
+           "extend it.  A red end marker = the latest point exceeds "
+           "its predecessor by the gate tolerance "
+           f"({100 * data['tolerance']:.1f}%).</p>"]
+    n_flag = data["regressions_flagged"]
+    out.append("<p>" + _status(
+        n_flag == 0,
+        "no gated regressions" if n_flag == 0
+        else f"{n_flag} gated regression(s)") + "</p>")
+    for suite in sorted(trajs):
+        out.append(f"<h3>suite: {_esc(suite)}</h3>")
+        figures, rows = [], []
+        for entry in sorted(trajs[suite]):
+            points = trajs[suite][entry]
+            series = [p["metrics"].get("median_sim_time_s")
+                      for p in points]
+            is_flagged = (suite, entry,
+                          "median_sim_time_s") in flagged
+            svg = svg_trend(
+                series, flagged=is_flagged,
+                aria=f"{entry} median sim time trend")
+            if svg:
+                figures.append(
+                    f"<figure>{svg}<figcaption>{_esc(entry)} — "
+                    f"median_sim_time_s, {len(points)} point(s)"
+                    f"</figcaption></figure>")
+            for p in points:
+                rows.append([
+                    entry, p["source"], p["git"] or "-", p["n"],
+                    p["metrics"].get("median_sim_time_s"),
+                    p["metrics"].get("host_entries_scanned"),
+                    p["metrics"].get("median_wall_time_s")])
+        out.append(f'<div class="chartrow">{"".join(figures)}</div>')
+        out.append(_html_table(
+            ["workload", "source", "git", "n", "median_sim_time_s",
+             "host_entries_scanned", "median_wall_time_s"], rows))
+    if data["regressions"]:
+        out.append("<h3>Gate verdicts (latest vs previous)</h3>")
+        rows = []
+        for f in data["regressions"]:
+            rows.append([f"{f['suite']}:{f['entry']}", f["metric"],
+                         f["reference"], f["latest"],
+                         f"{f['ratio']:.3f}x",
+                         "REGRESSION" if f["flagged"] else "ok"])
+        out.append(_html_table(
+            ["series", "metric", "previous", "latest", "ratio",
+             "verdict"], rows))
+    return "".join(out)
+
+
+def _section_reconciliation(data: dict[str, Any]) -> str:
+    rec = data["reconciliation"]
+    if not rec["n_checked"]:
+        return ""
+    ok = rec["n_mismatched"] == 0
+    out = [
+        "<h2>Reconciliation</h2>",
+        "<p>Cross-check that each record's modeled "
+        "<code>sim_time</code> equals the sum of its per-component "
+        "<code>timeline_totals</code> — the simulator's books must "
+        "balance.</p>",
+        "<p>" + _status(
+            ok,
+            f"{rec['n_ok']}/{rec['n_checked']} records reconcile "
+            f"(max |diff| {_fmt(rec['max_abs_diff'], '.3g')}s)")
+        + "</p>"]
+    if not ok and rec["worst"]:
+        w = rec["worst"]
+        out.append(
+            f'<p class="muted">worst: {_esc(w["algorithm"])} on '
+            f'{_esc(w["graph"])} — sim_time '
+            f'{_fmt(w["sim_time"], ".6g")} vs timeline sum '
+            f'{_fmt(w["timeline_sum"], ".6g")}</p>')
+    return "".join(out)
+
+
+def _section_provenance(data: dict[str, Any]) -> str:
+    prov = data["provenance"]
+    out = ["<h2>Provenance appendix</h2>",
+           f'<p class="muted">store: '
+           f'<code>{_esc(prov["store_path"])}</code>; record '
+           f'schemas seen: '
+           f'{_esc(", ".join(f"v{k} ({v} rows)" for k, v in prov["record_schemas"].items()))}'
+           "</p>"]
+    if prov["environments"]:
+        rows = [[e["git"] or "-", e["python"] or "-",
+                 e["numpy"] or "-", e["host_platform"] or "-",
+                 e["n_records"]] for e in prov["environments"]]
+        out.append(_html_table(
+            ["git", "python", "numpy", "host platform", "records"],
+            rows))
+    return "".join(out)
+
+
+def render_html(data: dict[str, Any]) -> str:
+    from repro.analysis import templates
+
+    body = "".join([
+        _section_overview(data),
+        _section_exec(data),
+        _section_quality(data),
+        _section_significance(data),
+        _section_trajectories(data),
+        _section_reconciliation(data),
+        _section_provenance(data),
+    ])
+    generated = time.strftime("%Y-%m-%d %H:%M:%S",
+                              time.localtime(data["generated_at"]))
+    return templates.load("report.html.tmpl").safe_substitute(
+        title=_esc(data["title"]),
+        subtitle=(f"generated {generated} · report schema "
+                  f"v{data['schema']} · no scripts, no network"),
+        body=body,
+        footer=("Generated by <code>repro report</code> from the run "
+                "store alone; regenerate with the same store to "
+                "reproduce every number."),
+    )
+
+
+# ------------------------------------------------------------------ #
+# markdown / json rendering
+# ------------------------------------------------------------------ #
+
+
+def render_markdown(data: dict[str, Any]) -> str:
+    from repro.harness.report import format_table, render_series
+
+    lines: list[str] = [f"# {data['title']}", ""]
+    ov = data["overview"]
+    lines += [f"- runs analysed: {ov['n_records']}",
+              f"- store counts: {ov['counts']}",
+              f"- algorithms: {', '.join(ov['algorithms']) or '-'}",
+              f"- graphs: {', '.join(ov['graphs']) or '-'}",
+              f"- filters: {data['filters']}", ""]
+    t = data["exec_table"]
+    if t["rows"]:
+        lines += ["## Execution times (median sim_time, s)", "",
+                  "```",
+                  format_table(t["headers"], t["rows"],
+                               floatfmt=".4f"),
+                  "```", ""]
+    q = data["quality"]
+    if q["rows"]:
+        lines += [f"## Quality (weight / {q['reference']})", "",
+                  "```",
+                  format_table(q["headers"], q["rows"],
+                               floatfmt=".4f"),
+                  "```", ""]
+    sig = data["significance"]
+    if sig["pairs"]:
+        rows = [[f"{p['a']} vs {p['b']}", p["n_graphs"],
+                 p["p_value"], p["p_adjusted"], p["faster"] or "-"]
+                for p in sig["pairs"]]
+        lines += ["## Significance (Wilcoxon signed-rank)", "", "```",
+                  format_table(["pair", "graphs", "p", "p_holm",
+                                "faster"], rows, floatfmt=".4g"),
+                  "```", ""]
+    if data["trajectories"]:
+        lines += ["## Bench trajectories", ""]
+        for suite in sorted(data["trajectories"]):
+            for entry, points in sorted(
+                    data["trajectories"][suite].items()):
+                series = [p["metrics"].get("median_sim_time_s")
+                          for p in points]
+                lines.append("    " + render_series(
+                    f"{suite}:{entry}", series))
+        lines.append("")
+    n_flag = data["regressions_flagged"]
+    lines.append(f"Gate: {'OK' if n_flag == 0 else 'REGRESSED'} "
+                 f"({n_flag} flagged)")
+    rec = data["reconciliation"]
+    if rec["n_checked"]:
+        lines.append(
+            f"Reconciliation: {rec['n_ok']}/{rec['n_checked']} "
+            f"records balance (max |diff| "
+            f"{rec['max_abs_diff']:.3g}s)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_json(data: dict[str, Any]) -> str:
+    return json.dumps(data, indent=1, sort_keys=True,
+                      default=repr) + "\n"
+
+
+_RENDERERS = {"html": (render_html, "index.html"),
+              "md": (render_markdown, "report.md"),
+              "json": (render_json, "report.json")}
+
+
+def write_report(store: "RunStore", out_dir: "Path | str" = "report",
+                 fmt: str = "html", **kwargs: Any
+                 ) -> tuple[Path, dict[str, Any]]:
+    """Build and write the report; returns ``(path, data)``.
+
+    ``kwargs`` pass through to :func:`build_report_data`.  The output
+    directory is created; the file name is fixed per format
+    (``index.html`` / ``report.md`` / ``report.json``) so CI artifact
+    globs stay stable.
+    """
+    if fmt not in _RENDERERS:
+        raise ValueError(f"unknown report format {fmt!r}; "
+                         f"have {sorted(_RENDERERS)}")
+    data = build_report_data(store, **kwargs)
+    render, name = _RENDERERS[fmt]
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / name
+    path.write_text(render(data), encoding="utf-8")
+    return path, data

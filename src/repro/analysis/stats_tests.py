@@ -1,0 +1,214 @@
+"""Significance tests and interval estimates for run comparisons.
+
+The paper reports paired algorithm timings across a fixed graph set;
+the right test for "is A faster than B?" on that shape is the Wilcoxon
+signed-rank test (FuzzBench's choice for paired benchmark comparisons,
+and the one its ``stat_tests.py`` wraps).  This module provides it with
+a twist required by the reproduction environment: scipy is optional.
+
+When scipy is importable, :func:`wilcoxon_signed_rank` delegates to
+``scipy.stats.wilcoxon(zero_method="wilcox", correction=False,
+method="asymptotic")``.  When it is not, a pure-python implementation
+of *exactly that variant* — drop zero differences, average ranks over
+ties, normal approximation with tie correction, no continuity
+correction — computes the same statistic and p-value to float
+precision, so a report generated on a bare-stdlib box is numerically
+identical to one generated on a scipy box.  ``force_fallback=True``
+exercises the pure path even when scipy exists (how the agreement test
+works).
+
+Interval estimates use a deterministic seeded bootstrap
+(:func:`bootstrap_median_ci`) — no numpy required, same CI on every
+run.  :func:`rank_table` builds FuzzBench-style average-rank summaries
+across subjects (graphs), and :func:`holm_adjust` corrects a family of
+p-values for multiple comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "HAVE_SCIPY",
+    "WilcoxonResult",
+    "wilcoxon_signed_rank",
+    "bootstrap_median_ci",
+    "rank_table",
+    "holm_adjust",
+    "rankdata",
+]
+
+try:  # pragma: no cover - depends on environment
+    import scipy.stats as _scipy_stats
+
+    HAVE_SCIPY = True
+except Exception:  # pragma: no cover - depends on environment
+    _scipy_stats = None
+    HAVE_SCIPY = False
+
+
+def rankdata(values: Sequence[float]) -> list[float]:
+    """Ascending ranks (1-based), ties sharing their average rank —
+    ``scipy.stats.rankdata(method="average")`` in pure python."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while (j + 1 < len(order)
+               and values[order[j + 1]] == values[order[i]]):
+            j += 1
+        avg = (i + j) / 2 + 1  # average of 1-based positions i..j
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Outcome of one paired Wilcoxon signed-rank test.
+
+    ``n`` counts the pairs that survived zero-difference removal;
+    ``method`` records which implementation produced the numbers
+    (``"scipy"`` or ``"fallback"`` — they agree, the field is for the
+    provenance appendix).  A degenerate input (no non-zero pairs)
+    yields ``statistic=0, p_value=1, n=0`` rather than an error.
+    """
+
+    statistic: float
+    p_value: float
+    n: int
+    method: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"statistic": self.statistic, "p_value": self.p_value,
+                "n": self.n, "method": self.method}
+
+
+def _wilcoxon_fallback(diffs: Sequence[float]) -> tuple[float, float]:
+    """The asymptotic two-sided signed-rank test on non-zero diffs."""
+    n = len(diffs)
+    ranks = rankdata([abs(d) for d in diffs])
+    r_plus = sum(r for r, d in zip(ranks, diffs) if d > 0)
+    r_minus = sum(r for r, d in zip(ranks, diffs) if d < 0)
+    statistic = min(r_plus, r_minus)
+    mean = n * (n + 1) / 4.0
+    var = n * (n + 1) * (2 * n + 1) / 24.0
+    # tie correction: sum(t^3 - t)/48 over tie groups of |d|
+    counts: dict[float, int] = {}
+    for d in diffs:
+        counts[abs(d)] = counts.get(abs(d), 0) + 1
+    var -= sum(t ** 3 - t for t in counts.values()) / 48.0
+    if var <= 0:
+        return statistic, 1.0
+    z = (statistic - mean) / math.sqrt(var)
+    p = 2.0 * (0.5 * math.erfc(abs(z) / math.sqrt(2.0)))
+    return statistic, min(p, 1.0)
+
+
+def wilcoxon_signed_rank(x: Sequence[float], y: Sequence[float],
+                         force_fallback: bool = False
+                         ) -> WilcoxonResult:
+    """Two-sided paired Wilcoxon signed-rank test of ``x`` vs ``y``.
+
+    Zero differences are dropped (``zero_method="wilcox"``), the normal
+    approximation is used without continuity correction, and the
+    statistic is ``min(R+, R-)`` — the scipy and fallback paths are the
+    same test and agree to float precision.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"paired samples differ in length: "
+                         f"{len(x)} vs {len(y)}")
+    diffs = [float(a) - float(b) for a, b in zip(x, y) if a != b]
+    if not diffs:
+        method = "scipy" if (HAVE_SCIPY and not force_fallback) \
+            else "fallback"
+        return WilcoxonResult(0.0, 1.0, 0, method)
+    if HAVE_SCIPY and not force_fallback:
+        res = _scipy_stats.wilcoxon(
+            [float(a) for a, b in zip(x, y) if a != b],
+            [float(b) for a, b in zip(x, y) if a != b],
+            zero_method="wilcox", correction=False,
+            method="asymptotic")
+        return WilcoxonResult(float(res.statistic), float(res.pvalue),
+                              len(diffs), "scipy")
+    statistic, p = _wilcoxon_fallback(diffs)
+    return WilcoxonResult(float(statistic), float(p), len(diffs),
+                          "fallback")
+
+
+def bootstrap_median_ci(values: Sequence[float], n_boot: int = 1999,
+                        alpha: float = 0.05, seed: int = 17
+                        ) -> tuple[float, float]:
+    """Percentile bootstrap CI on the median, deterministic by seed.
+
+    Pure stdlib (``random.Random(seed)``), so the same values produce
+    the same interval on every machine — report regeneration is
+    reproducible.  Degenerate inputs collapse: fewer than two values
+    yield a zero-width interval at the value (or ``(nan, nan)`` for an
+    empty input).
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return (math.nan, math.nan)
+    if len(vals) == 1:
+        return (vals[0], vals[0])
+    rng = random.Random(seed)
+    n = len(vals)
+    medians = sorted(
+        statistics.median(rng.choice(vals) for _ in range(n))
+        for _ in range(n_boot)
+    )
+    lo_i = int(math.floor((alpha / 2) * (n_boot - 1)))
+    hi_i = int(math.ceil((1 - alpha / 2) * (n_boot - 1)))
+    return (medians[lo_i], medians[hi_i])
+
+
+def rank_table(scores: Mapping[Any, Mapping[Any, float]],
+               lower_is_better: bool = True
+               ) -> list[tuple[Any, float, int]]:
+    """FuzzBench-style average ranks: per subject, rank the groups;
+    then average each group's rank across the subjects it appears in.
+
+    ``scores`` maps subject (e.g. graph) → {group (e.g. algorithm):
+    score}.  Returns ``(group, average_rank, n_subjects)`` sorted best
+    (lowest average rank) first.  Rank 1 is the best score under the
+    chosen direction; ties share average ranks.
+    """
+    totals: dict[Any, float] = {}
+    counts: dict[Any, int] = {}
+    for per_group in scores.values():
+        groups = list(per_group)
+        if not groups:
+            continue
+        vals = [per_group[g] if lower_is_better else -per_group[g]
+                for g in groups]
+        for g, r in zip(groups, rankdata(vals)):
+            totals[g] = totals.get(g, 0.0) + r
+            counts[g] = counts.get(g, 0) + 1
+    table = [(g, totals[g] / counts[g], counts[g]) for g in totals]
+    table.sort(key=lambda t: (t[1], str(t[0])))
+    return table
+
+
+def holm_adjust(p_values: Iterable[float]) -> list[float]:
+    """Holm–Bonferroni step-down adjustment, order-preserving.
+
+    Returns adjusted p-values aligned with the input order; monotone
+    and clipped to 1.  Controls the family-wise error rate across the
+    pairwise comparisons of a significance table.
+    """
+    ps = [float(p) for p in p_values]
+    m = len(ps)
+    order = sorted(range(m), key=lambda i: ps[i])
+    adjusted = [0.0] * m
+    running = 0.0
+    for rank, i in enumerate(order):
+        running = max(running, (m - rank) * ps[i])
+        adjusted[i] = min(1.0, running)
+    return adjusted

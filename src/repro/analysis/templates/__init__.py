@@ -1,0 +1,21 @@
+"""Report templates: stdlib ``string.Template`` documents.
+
+Kept as package data (plain ``.tmpl`` files next to this module) so
+the HTML skeleton is reviewable as markup rather than as a Python
+string literal — the FuzzBench report generator's layout, minus the
+Jinja dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from string import Template
+
+__all__ = ["load"]
+
+_HERE = Path(__file__).parent
+
+
+def load(name: str) -> Template:
+    """The named template (e.g. ``"report.html.tmpl"``)."""
+    return Template((_HERE / name).read_text(encoding="utf-8"))

@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Eight subcommands::
+Ten subcommands::
 
     repro-matching run --algorithm ld_gpu --dataset GAP-kron --devices 4
     repro-matching sweep --dataset GAP-kron --devices 1 2 4 8 --parallel 4
     repro-matching bench --suite smoke --baseline benchmarks/baseline_smoke.json
     repro-matching experiment table1 [--quick] [--parallel N]
     repro-matching stats record.json
+    repro-matching report --store runs.db --out report/ [--format html|md|json]
+    repro-matching analysis query [filters...] [--metric M --group-by K...]
     repro-matching store ls|show FP|resume|export|gc [--store PATH]
     repro-matching cache ls|clear|evict
     repro-matching list [datasets|algorithms|experiments]
@@ -26,7 +28,12 @@ fans it out over worker processes, bit-identical to serial);
 ``bench`` runs a fixed workload suite, writes ``BENCH_<suite>.json``
 and gates against a committed baseline; ``experiment`` regenerates a
 paper table/figure; ``stats`` prints the paper-claim metrics of a
-stored RunRecord; ``store`` inspects, resumes and maintains the
+stored RunRecord; ``report`` renders the analysis plane's one-command
+story — recomputed paper tables, significance tests, bench
+trajectories with the gate's verdict, provenance — as a standalone
+no-JS HTML page (or markdown/JSON); ``analysis query`` is its
+composable little sibling: typed filters over the store with optional
+grouped aggregation; ``store`` inspects, resumes and maintains the
 persistent run store (``--store PATH`` / ``REPRO_RUN_STORE`` on
 ``run``/``sweep``/``bench`` make those commands record into — and
 serve finished cells from — the same store); ``cache`` inspects the
@@ -215,6 +222,81 @@ def build_parser() -> argparse.ArgumentParser:
     storecommon.add_argument("--store", metavar="PATH", default=None,
                              help="store database path (default "
                                   "$REPRO_RUN_STORE)")
+
+    reportp = sub.add_parser(
+        "report", parents=[storecommon],
+        help="render the analysis report (paper tables, significance, "
+             "bench trajectories, provenance) from a run store",
+    )
+    reportp.add_argument("--out", metavar="DIR", default="report",
+                         help="output directory (default report/)")
+    reportp.add_argument("--format", choices=["html", "md", "json"],
+                         default="html",
+                         help="html: standalone no-JS page "
+                              "(index.html); md/json: the same data "
+                              "for terminals/machines")
+    reportp.add_argument("--since", metavar="SHA|DATE", default=None,
+                         help="only analyse runs since an ISO date "
+                              "(YYYY-MM-DD, on created_at) or whose "
+                              "provenance git describe starts with SHA")
+    reportp.add_argument("--suite", action="append", default=None,
+                         metavar="NAME",
+                         help="restrict bench trajectories to this "
+                              "suite (repeatable; default all found)")
+    reportp.add_argument("--bench-dir", metavar="DIR", default=None,
+                         help="committed baseline directory (default "
+                              "benchmarks/)")
+    reportp.add_argument("--tolerance", type=float, default=0.05,
+                         help="relative slowdown allowed before a "
+                              "trajectory point is flagged (default "
+                              "0.05, the bench gate's)")
+    reportp.add_argument("--gate", action="store_true",
+                         help="exit 1 when any gated bench metric "
+                              "regressed (CI mode)")
+
+    analysisp = sub.add_parser(
+        "analysis",
+        help="typed queries over the run store (the report's "
+             "building blocks)",
+    )
+    asub = analysisp.add_subparsers(dest="analysis_action",
+                                    required=True)
+    aquery = asub.add_parser(
+        "query", parents=[storecommon],
+        help="filter stored runs; optionally aggregate a metric by "
+             "group keys",
+    )
+    aquery.add_argument("--algorithm", "-a", nargs="+", default=None)
+    aquery.add_argument("--dataset", "-d", nargs="+", default=None)
+    aquery.add_argument("--status", nargs="+", default=None,
+                        choices=["pending", "leased", "done", "error"])
+    aquery.add_argument("--platform", default=None,
+                        help="simulated platform name filter")
+    aquery.add_argument("--devices", "-n", type=int, nargs="+",
+                        default=None, metavar="N")
+    aquery.add_argument("--batches", "-b", type=int, default=None,
+                        metavar="B")
+    aquery.add_argument("--pointing-engine", dest="pointing_engine",
+                        default=None)
+    aquery.add_argument("--since", metavar="SHA|DATE", default=None,
+                        help="ISO date (created_at) or provenance git "
+                             "describe prefix")
+    aquery.add_argument("--label-prefix", default=None,
+                        help="cell label prefix (bench cells are "
+                             "'<suite>:<workload>')")
+    aquery.add_argument("--metric", default=None,
+                        help="aggregate this metric (sim_time, "
+                             "wall_time_s, duration_s, weight, "
+                             "matched_edges, iterations, "
+                             "host_entries_scanned) instead of "
+                             "listing rows")
+    aquery.add_argument("--group-by", nargs="+", default=None,
+                        metavar="KEY",
+                        help="grouping keys for --metric (default "
+                             "algorithm dataset)")
+    aquery.add_argument("--json", action="store_true",
+                        help="machine-readable JSON")
+
     storep = sub.add_parser(
         "store",
         help="inspect, resume and maintain the persistent run store",
@@ -226,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     sls.add_argument("--status", default=None,
                      choices=["pending", "leased", "done", "error"],
                      help="only cells in this state")
+    sls.add_argument("--algorithm", "-a", nargs="+", default=None,
+                     help="only cells of these algorithm(s)")
+    sls.add_argument("--dataset", "-d", nargs="+", default=None,
+                     help="only cells on these dataset(s)")
     sls.add_argument("--json", action="store_true",
                      help="machine-readable JSON")
     sshow = ssub.add_parser("show", parents=[storecommon],
@@ -661,23 +747,102 @@ def _require_store(parser: argparse.ArgumentParser,
     return store
 
 
+def _cmd_report(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    store = _require_store(parser, args)
+    from repro.analysis.report import resolve_since, write_report
+
+    path, data = write_report(
+        store, out_dir=args.out, fmt=args.format,
+        suites=args.suite, tolerance=args.tolerance,
+        bench_dir=args.bench_dir, **resolve_since(args.since))
+    n_flag = data["regressions_flagged"]
+    print(f"report ({args.format}) written to {path}")
+    print(f"runs analysed: {data['overview']['n_records']}; "
+          f"bench series: "
+          f"{sum(len(e) for e in data['trajectories'].values())}; "
+          f"gated regressions: {n_flag}")
+    if n_flag:
+        for f in data["regressions"]:
+            if f["flagged"]:
+                print(f"  REGRESSION {f['suite']}:{f['entry']} "
+                      f"{f['metric']}: {f['ratio']:.3f}x vs "
+                      f"{f['reference_source']}")
+        if args.gate:
+            return EXIT_FAILURE
+    return EXIT_OK
+
+
+def _cmd_analysis(parser: argparse.ArgumentParser,
+                  args: argparse.Namespace) -> int:
+    store = _require_store(parser, args)
+    from repro.analysis.queries import METRICS, ResultSet, RunQuery
+    from repro.analysis.report import resolve_since
+
+    when = resolve_since(args.since)
+    query = RunQuery(
+        algorithm=args.algorithm, dataset=args.dataset,
+        status=args.status, platform=args.platform,
+        num_devices=args.devices, num_batches=args.batches,
+        pointing_engine=args.pointing_engine,
+        label_prefix=args.label_prefix,
+        since=when.get("since"), git=when.get("git"))
+    rs = ResultSet(store, query)
+
+    if args.metric:
+        if args.metric not in METRICS:
+            parser.error(f"unknown metric {args.metric!r}; have "
+                         f"{', '.join(sorted(METRICS))}")
+        by = tuple(args.group_by) if args.group_by \
+            else ("algorithm", "dataset")
+        try:
+            aggs = rs.aggregate(args.metric, by=by)
+        except KeyError as exc:
+            parser.error(str(exc))
+        if args.json:
+            doc = [dict(zip(by, [str(k) for k in key]),
+                        **agg.to_dict())
+                   for key, agg in aggs.items()]
+            print(json.dumps(doc, indent=1))
+            return EXIT_OK
+        rows = [list(map(str, key))
+                + [agg.n, agg.median, agg.mean, agg.ci_lo, agg.ci_hi]
+                for key, agg in sorted(aggs.items(),
+                                       key=lambda kv: kv[0])]
+        print(format_table(
+            list(by) + ["n", "median", "mean", "ci_lo", "ci_hi"],
+            rows, floatfmt=".4g",
+            title=f"{args.metric} ({query.describe()})"))
+        return EXIT_OK
+
+    if args.json:
+        print(json.dumps(rs.to_documents(), indent=1))
+        return EXIT_OK
+    print(format_table(
+        ["fingerprint", "algorithm", "dataset", "status", "attempts",
+         "worker"],
+        rs.summary_rows(),
+        title=f"{len(rs.rows)} run(s) matching {query.describe()}"))
+    return EXIT_OK
+
+
 def _cmd_store(parser: argparse.ArgumentParser,
                args: argparse.Namespace) -> int:
     store = _require_store(parser, args)
     action = args.store_action
 
     if action == "ls":
-        runs = store.runs(args.status)
+        # The analysis query layer is the read path: the same SQL
+        # narrowing + listing shape `analysis query` uses.
+        from repro.analysis.queries import ResultSet, RunQuery
+
+        rs = ResultSet(store, RunQuery(algorithm=args.algorithm,
+                                       dataset=args.dataset,
+                                       status=args.status))
         if args.json:
-            doc = [{"fingerprint": r.fingerprint,
-                    "algorithm": r.algorithm, "dataset": r.dataset,
-                    "status": r.status, "attempts": r.attempts,
-                    "seed": r.seed, "worker": r.worker}
-                   for r in runs]
-            print(json.dumps(doc, indent=1))
+            print(json.dumps(rs.to_documents(), indent=1))
             return EXIT_OK
-        rows = [[r.fingerprint[:17], r.algorithm, r.dataset or "-",
-                 r.status, r.attempts, r.worker or "-"] for r in runs]
+        rows = rs.summary_rows()
         print(format_table(
             ["fingerprint", "algorithm", "dataset", "status",
              "attempts", "worker"],
@@ -891,6 +1056,8 @@ _COMMANDS: dict[str, Callable[[argparse.ArgumentParser,
     "bench": _cmd_bench,
     "stats": _cmd_stats,
     "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "analysis": _cmd_analysis,
     "store": _cmd_store,
     "cache": _cmd_cache,
     "list": _cmd_list,

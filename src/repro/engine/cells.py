@@ -177,6 +177,7 @@ def error_record(
     *,
     fingerprint: str | None = None,
     config: dict[str, Any] | None = None,
+    started_at: float | None = None,
 ) -> RunRecord:
     """The ``status="error"`` record standing in for a crashed cell.
 
@@ -220,6 +221,9 @@ def error_record(
         iterations=0,
         sim_time=None,
         wall_time_s=0.0,
+        started_at=started_at,
+        duration_s=(time.time() - started_at)
+        if started_at is not None else None,
         dataset=ctx.dataset if ctx.dataset is not None else cell.dataset,
         platform=platform,
         cpu=ctx.resolved_cpu().name
@@ -267,6 +271,7 @@ def run_materialised_cell(mc: MaterialisedCell, graph: "CSRGraph",
     field for field.
     """
     cell, ctx = mc.cell, mc.ctx
+    started_at = time.time()
     try:
         record = execute(cell.algorithm, graph, ctx, **cell.overrides)
     except Exception as exc:
@@ -280,7 +285,8 @@ def run_materialised_cell(mc: MaterialisedCell, graph: "CSRGraph",
         except Exception:
             pass  # never let fingerprinting mask the real failure
         return error_record(cell, ctx, graph, exc,
-                            fingerprint=fp, config=config)
+                            fingerprint=fp, config=config,
+                            started_at=started_at)
     if cell.label is not None:
         record.extra["label"] = cell.label
     return record
@@ -320,12 +326,14 @@ def run_stored_cell(mc: MaterialisedCell, graph: "CSRGraph",
         if cached is not None:
             return cached
         if store.claim(fp):
+            started_at = time.time()
             try:
                 record = run_materialised_cell(mc, graph,
                                                on_error="raise")
             except Exception as exc:
                 record = error_record(mc.cell, mc.ctx, graph, exc,
-                                      fingerprint=fp, config=config)
+                                      fingerprint=fp, config=config,
+                                      started_at=started_at)
                 store.complete(fp, record)
                 if on_error == "raise":
                     raise

@@ -80,6 +80,7 @@ def execute(
     for sink in ctx.sinks:
         sink.on_run_start(spec, graph, ctx)
 
+    started_at = time.time()
     t0 = time.perf_counter()
     try:
         result = spec.fn(graph, **kwargs)
@@ -131,6 +132,8 @@ def execute(
         sim_time=float(result.sim_time)
         if result.sim_time is not None else None,
         wall_time_s=wall,
+        started_at=started_at,
+        duration_s=time.perf_counter() - t0,
         dataset=ctx.dataset,
         platform=ctx.resolved_platform().name
         if (spec.needs_platform or spec.needs_device_spec) else None,

@@ -25,7 +25,12 @@ __all__ = ["RunRecord", "SCHEMA_VERSION"]
 #: type/message/traceback) so a crashed sweep cell serialises as a
 #: record instead of killing the grid.  v1/v2 documents still load
 #: (``status`` comes back ``"ok"``, ``error`` ``None``).
-SCHEMA_VERSION = 3
+#: v4: adds the wall-clock timestamps ``started_at`` (unix epoch
+#: seconds when the run began) and ``duration_s`` (total wall seconds
+#: the run occupied, algorithm plus record assembly) so bench
+#: trajectories order by real time, not just git order.  v1-v3
+#: documents still load (both come back ``None``).
+SCHEMA_VERSION = 4
 
 
 def _coerce(v: Any) -> Any:
@@ -60,6 +65,14 @@ class RunRecord:
     iterations: int
     sim_time: float | None = None
     wall_time_s: float = 0.0
+    #: Unix epoch seconds when the run began (``time.time()``); ``None``
+    #: on pre-v4 documents.  Deliberately non-deterministic — strip it
+    #: (with the other wall-clock fields) before bit-identity diffs.
+    started_at: float | None = None
+    #: Total wall-clock seconds the run occupied end to end (algorithm
+    #: call plus provenance/record assembly); ``wall_time_s`` times only
+    #: the algorithm callable.  ``None`` on pre-v4 documents.
+    duration_s: float | None = None
     dataset: str | None = None
     platform: str | None = None
     cpu: str | None = None

@@ -57,15 +57,20 @@ class Workload:
     overrides: dict[str, Any] = field(default_factory=dict)
     build: Any = field(default=None, repr=False)
 
-    def cell(self, replicate: int | None = None) -> Cell:
+    def cell(self, replicate: int | None = None,
+             suite: str | None = None) -> Cell:
         # Distinct replicate indices keep bench repeats individually
         # addressable in a run store (identical cells would collapse
         # onto one fingerprint and repeats 2..N would be store hits).
+        # A suite-qualified label ("<suite>:<name>") makes stored bench
+        # cells discoverable by the trajectory layer
+        # (:mod:`repro.analysis.trajectory`) via a label-prefix query.
+        label = f"{suite}:{self.name}" if suite else self.name
         return Cell(self.algorithm, dataset=self.dataset,
                     quality=self.quality, build=self.build,
                     config=dict(self.config),
                     overrides=dict(self.overrides),
-                    label=self.name, replicate=replicate)
+                    label=label, replicate=replicate)
 
 
 # ------------------------------------------------------------------ #
@@ -304,7 +309,7 @@ def run_bench(
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     workloads = SUITES[suite]
-    cells = [w.cell(replicate=k) for w in workloads
+    cells = [w.cell(replicate=k, suite=suite) for w in workloads
              for k in range(repeats)]
     records = run_cells(cells, parallel=parallel, cache=cache,
                         store=store)

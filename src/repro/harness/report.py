@@ -7,16 +7,20 @@ figures report; these helpers keep that output aligned and diff-friendly
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable, Sequence
 
 __all__ = ["format_table", "format_value", "render_series"]
 
 
 def format_value(v: Any, floatfmt: str = ".3f") -> str:
-    """Render one cell; ``None`` becomes the paper's '-' marker."""
+    """Render one cell; ``None`` (and NaN — an aggregate over zero
+    usable replicates) becomes the paper's '-' marker."""
     if v is None:
         return "-"
     if isinstance(v, float):
+        if math.isnan(v):
+            return "-"
         return format(v, floatfmt)
     return str(v)
 
@@ -27,15 +31,25 @@ def format_table(
     floatfmt: str = ".3f",
     title: str | None = None,
 ) -> str:
-    """Aligned monospace table."""
+    """Aligned monospace table.
+
+    Ragged input stays renderable: a row longer than the header line
+    grows the width list (its extra cells get empty headers), a
+    shorter row just leaves its tail columns blank.
+    """
+    headers = [str(h) for h in headers]
     srows = [[format_value(c, floatfmt) for c in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in srows:
         for i, cell in enumerate(row):
+            if i >= len(widths):
+                widths.append(0)
             widths[i] = max(widths[i], len(cell))
 
     def line(cells):
-        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        padded = list(cells) + [""] * (len(widths) - len(cells))
+        return "  ".join(c.rjust(w)
+                         for c, w in zip(padded, widths)).rstrip()
 
     out = []
     if title:
@@ -48,21 +62,32 @@ def format_table(
 
 def render_series(
     label: str,
-    values: Sequence[float],
+    values: Sequence[Any],
     width: int = 40,
     fmt: str = ".3g",
 ) -> str:
-    """One-line ASCII sparkline-style rendering of a numeric series."""
-    if not len(values):
+    """One-line ASCII sparkline-style rendering of a numeric series.
+
+    ``None``/NaN entries (missing measurements) render as gaps rather
+    than raising; a series with no usable values reports ``(empty)``.
+    """
+    def usable(v: Any) -> bool:
+        return v is not None and not (isinstance(v, float)
+                                      and math.isnan(v))
+
+    numeric = [float(v) for v in values if usable(v)]
+    if not numeric:
         return f"{label}: (empty)"
-    lo, hi = min(values), max(values)
+    lo, hi = min(numeric), max(numeric)
     span = (hi - lo) or 1.0
     blocks = "▁▂▃▄▅▆▇█"
-    pick = [blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values]
+    pick = [blocks[int((float(v) - lo) / span * (len(blocks) - 1))]
+            if usable(v) else " " for v in values]
     if len(pick) > width:
         stride = len(pick) / width
         pick = [pick[int(i * stride)] for i in range(width)]
     return (
         f"{label}: {''.join(pick)}  "
-        f"[min {format(lo, fmt)}, max {format(hi, fmt)}, n={len(values)}]"
+        f"[min {format(lo, fmt)}, max {format(hi, fmt)}, "
+        f"n={len(numeric)}]"
     )

@@ -97,6 +97,9 @@ CREATE TABLE IF NOT EXISTS runs (
     updated_at        REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS runs_status ON runs (status);
+CREATE INDEX IF NOT EXISTS runs_algorithm ON runs (algorithm);
+CREATE INDEX IF NOT EXISTS runs_dataset ON runs (dataset);
+CREATE INDEX IF NOT EXISTS runs_created ON runs (created_at);
 """
 
 
@@ -422,6 +425,48 @@ class RunStore:
             rows = conn.execute(
                 f"SELECT * FROM runs WHERE status IN ({marks}) "
                 "ORDER BY created_at, fingerprint", wanted).fetchall()
+        return [_row_to_run(r) for r in rows]
+
+    def select(
+        self,
+        *,
+        algorithm: str | Iterable[str] | None = None,
+        dataset: str | Iterable[str] | None = None,
+        status: str | Iterable[str] | None = None,
+        created_after: float | None = None,
+        created_before: float | None = None,
+    ) -> list[StoredRun]:
+        """SQL-side filtered rows, oldest first.
+
+        The read path shared by ``store ls`` and the analysis plane
+        (:mod:`repro.analysis.queries`): the indexed columns —
+        ``algorithm``, ``dataset``, ``status``, ``created_at`` —
+        narrow in SQLite; anything living inside ``config_json`` or
+        ``record_json`` (platform, devices, labels, git sha) is the
+        caller's Python-side refinement.  Every filter accepts one
+        value or an iterable of values; ``None`` means "any".
+        """
+        clauses: list[str] = []
+        params: list[Any] = []
+        for column, value in (("algorithm", algorithm),
+                              ("dataset", dataset),
+                              ("status", status)):
+            if value is None:
+                continue
+            wanted = [value] if isinstance(value, str) else list(value)
+            marks = ",".join("?" for _ in wanted)
+            clauses.append(f"{column} IN ({marks})")
+            params.extend(wanted)
+        if created_after is not None:
+            clauses.append("created_at >= ?")
+            params.append(float(created_after))
+        if created_before is not None:
+            clauses.append("created_at <= ?")
+            params.append(float(created_before))
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._connect().execute(
+            f"SELECT * FROM runs{where} "
+            "ORDER BY created_at, fingerprint", params).fetchall()
         return [_row_to_run(r) for r in rows]
 
     def counts(self) -> dict[str, int]:

@@ -197,6 +197,31 @@ def validate_prometheus_text(text: str) -> int:
     return samples
 
 
+def _unescape_label_value(raw: str) -> str:
+    """Single left-to-right pass inverting :func:`_escape_label_value`.
+
+    Sequential ``str.replace`` calls are wrong in either order — e.g.
+    the wire form ``\\\\n`` (a literal backslash followed by ``n``)
+    must not collapse into a newline, which unescaping ``\\n`` first
+    would produce.  Each escape sequence is consumed exactly once;
+    sequences outside the format's three (``\\\\``, ``\\"``, ``\\n``)
+    are preserved verbatim, matching the reference parser's laxness.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        c = raw[i]
+        if c == "\\" and i + 1 < len(raw):
+            nxt = raw[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(
+                nxt, c + nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
 def _parse_labels(labelstr: str, lineno: int) -> dict[str, str]:
     """Parse ``{k="v",...}`` with escape handling; raises on malformed."""
     import re
@@ -217,9 +242,7 @@ def _parse_labels(labelstr: str, lineno: int) -> dict[str, str]:
             raise ValueError(
                 f"line {lineno}: malformed label pair at {body[pos:]!r}"
             )
-        raw = m.group(2)
-        out[m.group(1)] = (raw.replace("\\n", "\n")
-                           .replace('\\"', '"').replace("\\\\", "\\"))
+        out[m.group(1)] = _unescape_label_value(m.group(2))
         pos = m.end()
     return out
 

@@ -263,6 +263,34 @@ class MetricsSnapshot:
                 out += s["sum"] if "sum" in s else s["value"]
         return out
 
+    def value(self, name: str, **label_filter: Any) -> float | None:
+        """The value of the single sample matching the filter.
+
+        The point-read companion to :meth:`total`: ``None`` when no
+        sample matches, the scalar value (histogram ``sum``) when
+        exactly one does, and ``ValueError`` when several do — a
+        report that meant ``total`` should say so rather than silently
+        read the first.
+        """
+        want = {k: str(v) for k, v in label_filter.items()}
+        matches = [s for s in self.samples(name)
+                   if all(s["labels"].get(k) == v
+                          for k, v in want.items())]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise ValueError(
+                f"{name}{want or ''} matches {len(matches)} samples; "
+                f"use total() to aggregate or narrow the labels")
+        s = matches[0]
+        return s["sum"] if "sum" in s else s["value"]
+
+    def label_values(self, name: str, label: str) -> list[str]:
+        """Distinct values of one label across a family's samples,
+        sorted — e.g. every ``component`` the span timer observed."""
+        return sorted({s["labels"][label] for s in self.samples(name)
+                       if label in s["labels"]})
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe nested dict (used by the JSON exporter)."""
         import copy

@@ -207,7 +207,7 @@ class TestRunRecordSerialisation:
 
     def test_json_values_plain(self, medium_graph):
         doc = json.loads(self._record(medium_graph).to_json())
-        assert doc["schema"] == 3
+        assert doc["schema"] == 4
         assert isinstance(doc["weight"], float)
         assert isinstance(doc["timeline_totals"], dict)
         assert doc["capability_tags"] == ["simulator_backed",

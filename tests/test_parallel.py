@@ -29,6 +29,8 @@ from repro.harness.sweep import sweep_ld_gpu
 
 def _strip_wall(doc: dict) -> dict:
     doc.pop("wall_time_s", None)
+    doc.pop("started_at", None)
+    doc.pop("duration_s", None)
     if doc.get("provenance"):
         doc["provenance"].pop("wall_time_s", None)
     return doc

@@ -106,3 +106,40 @@ class TestReport:
     def test_render_series_constant(self):
         s = render_series("flat", [2.0, 2.0, 2.0])
         assert "min 2" in s
+
+
+class TestReportEdgeCases:
+    """Satellite hardening: the renderers must survive the awkward
+    inputs the analysis plane feeds them (NaN aggregates, ragged
+    rows, series with missing measurements)."""
+
+    def test_format_value_nan_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_format_table_row_longer_than_headers(self):
+        out = format_table(["a"], [["x", 1.0, 2.0]])
+        assert "2.000" in out  # extra cells render, no IndexError
+
+    def test_format_table_row_shorter_than_headers(self):
+        out = format_table(["a", "b", "c"], [["x"]])
+        lines = out.splitlines()
+        assert lines[-1].startswith("x")
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2  # header + rule only
+
+    def test_format_table_non_string_headers(self):
+        out = format_table([1, 2], [[3, 4]])
+        assert "1" in out and "4" in out
+
+    def test_render_series_with_none_gaps(self):
+        s = render_series("gappy", [1.0, None, 3.0])
+        assert "n=2" in s and "min 1" in s and "max 3" in s
+
+    def test_render_series_with_nan(self):
+        s = render_series("nan", [1.0, float("nan"), 2.0])
+        assert "n=2" in s
+
+    def test_render_series_all_none(self):
+        assert "(empty)" in render_series("x", [None, None])

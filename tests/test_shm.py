@@ -36,6 +36,8 @@ def _segment_names() -> set[str]:
 
 def _strip_wall(doc: dict) -> dict:
     doc.pop("wall_time_s", None)
+    doc.pop("started_at", None)
+    doc.pop("duration_s", None)
     if doc.get("provenance"):
         doc["provenance"].pop("wall_time_s", None)
     return doc

@@ -44,7 +44,8 @@ def _strip_wall(record):
     """A record's JSON document minus the wall-clock fields — the only
     legitimately non-deterministic bits."""
     doc = json.loads(record.to_json())
-    doc.pop("wall_time_s", None)
+    for key in ("wall_time_s", "started_at", "duration_s"):
+        doc.pop(key, None)
     (doc.get("provenance") or {}).pop("wall_time_s", None)
     return doc
 

@@ -290,7 +290,7 @@ class TestMetricsSink:
         assert record.provenance["dataset_fingerprint"] == \
             graph_fingerprint(medium_graph)
         doc = json.loads(record.to_json())
-        assert doc["schema"] == 3
+        assert doc["schema"] == 4
         assert doc["provenance"]["numpy"] == np.__version__
 
     def test_per_run_registries_are_isolated(self, medium_graph):
@@ -448,3 +448,83 @@ class TestReportStatsGuards:
         total = sum(lanes.values())
         assert lanes["communication"] / total == pytest.approx(
             r.timeline.communication_fraction())
+
+
+class TestHostileLabelValues:
+    """Satellite regression: label-value escaping must round-trip
+    backslash/newline/quote, including the adversarial wire form
+    ``\\n`` (literal backslash then 'n'), which a sequential
+    str.replace unescape corrupts into a newline."""
+
+    HOSTILE = [
+        'plain',
+        'has"quote',
+        'has\nnewline',
+        'has\\backslash',
+        'backslash-then-n: \\n',       # the replace-order killer
+        'all three: \\ " \n and \\n',
+        'trailing backslash \\',
+        '\\\\double\\\\',
+    ]
+
+    def test_roundtrip_through_exposition_text(self):
+        from repro.telemetry.exporters import _parse_labels
+
+        reg = MetricsRegistry()
+        for i, v in enumerate(self.HOSTILE):
+            reg.counter("repro_hostile_total", "hostile",
+                        idx=str(i), path=v).inc()
+        text = to_prometheus(reg.snapshot())
+        assert validate_prometheus_text(text) == len(self.HOSTILE)
+        seen = {}
+        for line in text.splitlines():
+            if line.startswith("repro_hostile_total{"):
+                labels = _parse_labels(
+                    line[len("repro_hostile_total"):-2], 1)
+                seen[int(labels["idx"])] = labels["path"]
+        assert [seen[i] for i in range(len(self.HOSTILE))] \
+            == self.HOSTILE
+
+    def test_unescape_is_single_pass(self):
+        from repro.telemetry.exporters import (
+            _escape_label_value,
+            _unescape_label_value,
+        )
+
+        for v in self.HOSTILE:
+            assert _unescape_label_value(_escape_label_value(v)) == v
+        # the specific historical bug: escaped backslash + 'n'
+        assert _unescape_label_value("\\\\n") == "\\n"
+        assert _unescape_label_value("\\n") == "\n"
+        # unknown escapes and a dangling backslash pass through
+        assert _unescape_label_value("\\t") == "\\t"
+        assert _unescape_label_value("end\\") == "end\\"
+
+
+class TestSnapshotAccessors:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total", "c", component="sync").inc(2.0)
+        reg.counter("repro_c_total", component="pointing").inc(3.0)
+        reg.histogram("repro_h", "h", buckets=(1.0,)).observe(0.5)
+        return reg.snapshot()
+
+    def test_value_point_read(self):
+        snap = self._snapshot()
+        assert snap.value("repro_c_total", component="sync") == 2.0
+        assert snap.value("repro_c_total", component="absent") is None
+        assert snap.value("repro_nope_total") is None
+
+    def test_value_rejects_ambiguous(self):
+        snap = self._snapshot()
+        with pytest.raises(ValueError, match="matches 2 samples"):
+            snap.value("repro_c_total")
+
+    def test_value_histogram_reads_sum(self):
+        assert self._snapshot().value("repro_h") == 0.5
+
+    def test_label_values(self):
+        snap = self._snapshot()
+        assert snap.label_values("repro_c_total", "component") \
+            == ["pointing", "sync"]
+        assert snap.label_values("repro_c_total", "missing") == []
