@@ -16,8 +16,24 @@ Quick start::
     print(result.summary())
     assert result.weight == ld_seq(g).weight   # Lemma III.1 in action
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-reproduction of every table and figure.
+**The supported programmatic surface is** :mod:`repro.api` — job verbs
+(``submit``/``status``/``result``/``cancel``/``query``) that work
+identically against a local run store and a ``repro serve`` daemon
+URL, plus synchronous ``run``/``sweep`` and an inline worker
+``process``::
+
+    import repro.api as api
+
+    fp = api.submit("ld_gpu", dataset="GAP-kron", devices=4,
+                    store="runs.db")       # or store="http://host:8787"
+    api.process(store="runs.db")           # or run `repro worker`
+    record = api.result(fp, store="runs.db", wait=True)
+
+Everything re-exported here (graph constructors/generators, the
+simulator specs, the matching algorithms, the engine's
+``execute``/``RunContext``/``RunRecord``) is likewise public and
+documented in ``docs/api.md``; names under any other module path are
+implementation detail and may move between releases.
 """
 
 from repro.graph import (
@@ -88,6 +104,7 @@ from repro.engine import (
     RunRecord,
     execute,
 )
+from repro import api
 
 __version__ = "1.0.0"
 
@@ -156,5 +173,7 @@ __all__ = [
     "RunContext",
     "RunRecord",
     "execute",
+    # the stable programmatic surface (job verbs + run/sweep/process)
+    "api",
     "__version__",
 ]

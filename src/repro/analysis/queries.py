@@ -361,9 +361,12 @@ class ResultSet:
     # ------------------------------------------------------------ #
 
     def summary_rows(self) -> list[list[Any]]:
-        """One row per store row: the ``store ls`` listing shape."""
+        """One row per store row: the ``store ls`` listing shape.
+
+        ``state`` is the job-facing view (cancelled rows show as
+        ``cancelled``, not their underlying ``pending``/``error``)."""
         return [[r.fingerprint[:17], r.algorithm, r.dataset or "-",
-                 r.status, r.attempts, r.worker or "-"]
+                 r.state, r.attempts, r.worker or "-"]
                 for r in self.rows]
 
     def to_documents(self) -> list[dict[str, Any]]:
@@ -372,9 +375,12 @@ class ResultSet:
                  "algorithm": r.algorithm,
                  "dataset": r.dataset,
                  "status": r.status,
+                 "state": r.state,
                  "attempts": r.attempts,
                  "seed": r.seed,
                  "worker": r.worker,
+                 "priority": r.priority,
+                 "client": r.client,
                  "label": r.config.get("label"),
                  "replicate": r.config.get("replicate"),
                  "created_at": r.created_at}

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands::
+Fourteen subcommands::
 
     repro-matching run --algorithm ld_gpu --dataset GAP-kron --devices 4
     repro-matching sweep --dataset GAP-kron --devices 1 2 4 8 --parallel 4
@@ -10,20 +10,25 @@ Ten subcommands::
     repro-matching report --store runs.db --out report/ [--format html|md|json]
     repro-matching analysis query [filters...] [--metric M --group-by K...]
     repro-matching store ls|show FP|resume|export|gc [--store PATH]
+    repro-matching serve --store runs.db [--port P] [--quota N]
+    repro-matching worker --store runs.db [--max-cells N] [--idle-exit S]
+    repro-matching submit -a ld_gpu -d GAP-kron [--priority N] [--wait]
+    repro-matching job status|result|cancel FP [--store PATH|URL]
     repro-matching cache ls|clear|evict
     repro-matching list [datasets|algorithms|experiments]
 
-``run``/``sweep``/``bench``/``stats`` share one parent parser, so the
-common flags — ``--platform``, ``--devices/-n``, ``--batches/-b``,
-``--seed``, ``--json``, ``--metrics-out``, ``--store`` — spell and
-behave the same everywhere they apply (a flag that cannot apply to a
-subcommand is a usage error, not silently ignored).  Exit codes are
-uniform: **0** success, **1** runtime failure or benchmark regression,
-**2** usage error (argparse's own convention).
+``run``/``sweep``/``bench``/``stats``/``submit`` share one parent
+parser, so the common flags — ``--platform``, ``--devices/-n``,
+``--batches/-b``, ``--seed``, ``--json``, ``--metrics-out``,
+``--store`` — spell and behave the same everywhere they apply (a flag
+that cannot apply to a subcommand is a usage error, not silently
+ignored).  Exit codes are uniform: **0** success, **1** runtime
+failure or benchmark regression, **2** usage error (argparse's own
+convention).
 
-``run`` executes one algorithm on one dataset analog through the
-:mod:`repro.engine` registry; ``sweep`` maps an LD-GPU configuration
-grid through :func:`~repro.engine.cells.run_cells` (``--parallel N``
+``run`` executes one algorithm on one dataset analog synchronously
+(through :func:`repro.api.run`); ``sweep`` maps an LD-GPU
+configuration grid through :func:`repro.api.sweep` (``--parallel N``
 fans it out over worker processes, bit-identical to serial);
 ``bench`` runs a fixed workload suite, writes ``BENCH_<suite>.json``
 and gates against a committed baseline; ``experiment`` regenerates a
@@ -36,9 +41,18 @@ composable little sibling: typed filters over the store with optional
 grouped aggregation; ``store`` inspects, resumes and maintains the
 persistent run store (``--store PATH`` / ``REPRO_RUN_STORE`` on
 ``run``/``sweep``/``bench`` make those commands record into — and
-serve finished cells from — the same store); ``cache`` inspects the
-on-disk graph cache (``REPRO_GRAPH_CACHE*``); ``list algorithms``
-includes each algorithm's capability tags
+serve finished cells from — the same store).
+
+The service plane rides on the same store: ``serve`` runs the HTTP
+daemon (:mod:`repro.service.daemon`), ``worker`` drains claimable
+cells priority-first (any number of worker processes against one
+store), ``submit`` registers a job without executing it, and ``job
+status|result|cancel`` follow it through its lifecycle — their
+``--store`` also accepts an ``http://`` daemon URL, making the CLI a
+full remote client via :mod:`repro.api`.
+
+``cache`` inspects the on-disk graph cache (``REPRO_GRAPH_CACHE*``);
+``list algorithms`` includes each algorithm's capability tags
 (``parallel-safe``/``serial-only`` among them).
 """
 
@@ -49,13 +63,7 @@ import json
 import sys
 from typing import Callable
 
-from repro.engine import (
-    MetricsSink,
-    RunContext,
-    TraceSink,
-    algorithm_names,
-    execute,
-)
+from repro.engine import MetricsSink, TraceSink, algorithm_names
 from repro.harness import experiments as exp
 from repro.harness.datasets import (
     DATASETS,
@@ -341,6 +349,104 @@ def build_parser() -> argparse.ArgumentParser:
                      help="delete error rows so their cells re-register "
                           "from scratch")
 
+    # service plane: daemon, worker fleet, remote-capable job verbs.
+    servep = sub.add_parser(
+        "serve", parents=[storecommon],
+        help="run the matching-as-a-service HTTP daemon over a store",
+    )
+    servep.add_argument("--host", default=None,
+                        help="bind address (default 127.0.0.1)")
+    servep.add_argument("--port", type=int, default=None,
+                        help="bind port (default 8787; 0 = ephemeral)")
+    servep.add_argument("--quota", type=int, default=None, metavar="N",
+                        help="per-client cap on unfinished jobs; over "
+                             "it new submissions get HTTP 429 "
+                             "(default: unlimited)")
+    servep.add_argument("--lease-seconds", type=float, default=None,
+                        metavar="S",
+                        help="lease duration stamped on claims made "
+                             "through this daemon's store connections "
+                             "(default $REPRO_RUN_STORE_LEASE_S, "
+                             "else 300)")
+    servep.add_argument("--quiet", action="store_true",
+                        help="suppress per-request access log lines")
+
+    workerp = sub.add_parser(
+        "worker", parents=[storecommon],
+        help="claim and execute store cells priority-first (run any "
+             "number of these against one store)",
+    )
+    workerp.add_argument("--max-cells", type=int, default=None,
+                         metavar="N",
+                         help="exit after executing N cells "
+                              "(default: unbounded)")
+    workerp.add_argument("--idle-exit", type=float, default=None,
+                         metavar="S", dest="idle_exit",
+                         help="exit after S seconds with an empty "
+                              "queue; 0 drains and returns "
+                              "(default: run until interrupted)")
+    workerp.add_argument("--poll", type=float, default=0.5, metavar="S",
+                         help="sleep between empty polls "
+                              "(default 0.5)")
+    workerp.add_argument("--algorithm", "-a", nargs="+", default=None,
+                         choices=algorithm_names(),
+                         help="only claim cells of these algorithm(s)")
+    workerp.add_argument("--lease-seconds", type=float, default=None,
+                         metavar="S",
+                         help="per-claim lease duration (default "
+                              "$REPRO_RUN_STORE_LEASE_S, else 300)")
+    workerp.add_argument("--json", action="store_true",
+                         help="print the worker summary as JSON")
+
+    submitp = sub.add_parser(
+        "submit", parents=[common],
+        help="register a job for the worker fleet (no local execution; "
+             "--store takes a path or an http:// daemon URL)",
+    )
+    submitp.add_argument("--algorithm", "-a", required=True,
+                         choices=algorithm_names())
+    submitp.add_argument("--dataset", "-d", required=True,
+                         choices=sorted(DATASETS))
+    submitp.add_argument("--quality", action="store_true",
+                         help="submit the dataset's tiny "
+                              "blossom-tractable quality instance")
+    submitp.add_argument("--priority", type=int, default=0,
+                         help="queue priority; higher claims first "
+                              "(default 0)")
+    submitp.add_argument("--client", default=None,
+                         help="client name recorded on the job (quota "
+                              "attribution)")
+    submitp.add_argument("--label", default=None,
+                         help="free-form tag recorded on the record")
+    submitp.add_argument("--wait", action="store_true",
+                         help="block until the job finishes and print "
+                              "its result")
+    submitp.add_argument("--timeout", type=float, default=None,
+                         metavar="S",
+                         help="give up --wait after S seconds "
+                              "(exit 1)")
+
+    jobp = sub.add_parser(
+        "job",
+        help="follow a submitted job (--store takes a path or an "
+             "http:// daemon URL)",
+    )
+    jsub = jobp.add_subparsers(dest="job_action", required=True)
+    for action, blurb in (("status", "lifecycle state of one job"),
+                          ("result", "stored RunRecord of one job"),
+                          ("cancel", "request cancellation of one "
+                                     "job")):
+        ap = jsub.add_parser(action, parents=[storecommon], help=blurb)
+        ap.add_argument("fingerprint", metavar="FINGERPRINT")
+        ap.add_argument("--json", action="store_true",
+                        help="machine-readable JSON")
+        if action == "result":
+            ap.add_argument("--wait", action="store_true",
+                            help="poll until the job is terminal")
+            ap.add_argument("--timeout", type=float, default=None,
+                            metavar="S",
+                            help="give up --wait after S seconds")
+
     cachep = sub.add_parser(
         "cache",
         help="inspect the on-disk graph cache (REPRO_GRAPH_CACHE*)",
@@ -417,29 +523,16 @@ def _cmd_run(parser: argparse.ArgumentParser,
     if args.metrics_out:
         metrics_sink = MetricsSink()
         sinks.append(metrics_sink)
-    ctx_kwargs = dict(
-        graph=g,
-        num_devices=devices,
-        num_batches=batches,
-        seed=args.seed,
-        pointing_engine=args.pointing_engine,
-        sinks=tuple(sinks),
-    )
-    if args.platform is not None:
-        ctx_kwargs["platform"] = PLATFORMS[args.platform]
-    ctx = RunContext.for_dataset(args.dataset, **ctx_kwargs)
-    store = _store_from(args)
-    if store is not None:
-        # Through the store: a previously stored run is served without
-        # recompute (its record is bit-identical to a fresh one, minus
-        # the never-serialised in-memory result).
-        from repro.engine.cells import Cell, run_cells
+    # Through the facade: with a store a previously stored run is
+    # served without recompute (its record is bit-identical to a fresh
+    # one, minus the never-serialised in-memory result).
+    import repro.api as api
 
-        cell = Cell(args.algorithm, dataset=args.dataset,
-                    quality=args.quality, ctx=ctx)
-        record = run_cells([cell], store=store, on_error="raise")[0]
-    else:
-        record = execute(args.algorithm, g, ctx)
+    record = api.run(
+        args.algorithm, args.dataset, quality=args.quality,
+        platform=args.platform, devices=devices, batches=batches,
+        pointing_engine=args.pointing_engine, seed=args.seed,
+        sinks=tuple(sinks), store=_store_from(args))
     fmt = None
     if metrics_sink is not None and \
             metrics_sink.last_snapshot is not None:
@@ -489,21 +582,16 @@ def _cmd_run(parser: argparse.ArgumentParser,
 
 def _cmd_sweep(parser: argparse.ArgumentParser,
                args: argparse.Namespace) -> int:
-    from repro.harness.sweep import sweep_ld_gpu
+    import repro.api as api
 
-    platform = PLATFORMS[args.platform or "DGX-A100"]
-    g = load_dataset(args.dataset)
-    devices = tuple(args.devices) if args.devices else (1, 2, 4, 8)
-    batches = tuple(args.batches) if args.batches else (None,)
-    ld_kwargs = {}
-    if args.pointing_engine is not None:
-        ld_kwargs["engine"] = args.pointing_engine
-    result = sweep_ld_gpu(
-        g, platforms=(platform,), device_counts=devices,
-        batch_counts=batches, parallel=args.parallel,
+    result = api.sweep(
+        args.dataset, platform=args.platform,
+        devices=tuple(args.devices) if args.devices else (1, 2, 4, 8),
+        batches=tuple(args.batches) if args.batches else (None,),
+        parallel=args.parallel,
         collect_metrics=args.metrics_out is not None,
-        seed=args.seed, store=_store_from(args),
-        dataset=args.dataset, **ld_kwargs,
+        seed=args.seed, pointing_engine=args.pointing_engine,
+        store=_store_from(args),
     )
     if args.metrics_out:
         from repro.telemetry import write_metrics
@@ -955,6 +1043,187 @@ def _cmd_store(parser: argparse.ArgumentParser,
     return EXIT_FAILURE if skipped or ok < len(records) else EXIT_OK
 
 
+def _service_store_arg(parser: argparse.ArgumentParser,
+                       args: argparse.Namespace):
+    """The raw ``--store`` value for the remote-capable job verbs:
+    an ``http://`` URL passes through to :mod:`repro.api` untouched,
+    anything else resolves like every other subcommand (path or
+    ``REPRO_RUN_STORE``)."""
+    raw = getattr(args, "store", None)
+    if isinstance(raw, str) and raw.startswith(("http://", "https://")):
+        return raw
+    return _require_store(parser, args)
+
+
+def _local_store_path(parser: argparse.ArgumentParser,
+                      args: argparse.Namespace, command: str):
+    """serve/worker attach to the database itself, never a daemon."""
+    raw = getattr(args, "store", None)
+    if isinstance(raw, str) and raw.startswith(("http://", "https://")):
+        parser.error(f"'{command}' attaches to the store database, "
+                     "not a daemon URL")
+    return _require_store(parser, args)
+
+
+def _render_job_record(record, as_json: bool) -> None:
+    if as_json:
+        print(record.to_json(indent=1), end="")
+        return
+    bits = [f"weight={record.weight:.6g}",
+            f"matched_edges={record.matched_edges}",
+            f"iterations={record.iterations}"]
+    if record.sim_time is not None:
+        bits.append(f"sim_time={record.sim_time:.4g}s")
+    state = "ok" if record.ok else (
+        f"error ({record.error['type']}: {record.error['message']})")
+    print(f"{record.algorithm} on {record.graph}: {state}")
+    print(", ".join(bits))
+
+
+def _cmd_serve(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    store = _local_store_path(parser, args, "serve")
+    from repro.service.daemon import DEFAULT_HOST, DEFAULT_PORT, serve
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving {store.path} on http://{host}:{port} "
+              f"(submit with repro.api / 'submit --store "
+              f"http://{host}:{port}'; Ctrl-C stops)",
+              flush=True)
+
+    serve(store.path,
+          host=args.host or DEFAULT_HOST,
+          port=DEFAULT_PORT if args.port is None else args.port,
+          quota=args.quota, lease_seconds=args.lease_seconds,
+          quiet=args.quiet, ready=ready)
+    return EXIT_OK
+
+
+def _cmd_worker(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    store = _local_store_path(parser, args, "worker")
+    if args.lease_seconds is not None:
+        store.lease_seconds = float(args.lease_seconds)
+    from repro.service.worker import worker_loop
+
+    def on_cell(fp: str, record) -> None:
+        if not args.json:
+            state = "ok" if record.ok else "error"
+            print(f"[{store.worker_id}] {fp[:17]} {record.algorithm} "
+                  f"on {record.graph}: {state}", flush=True)
+
+    summary = worker_loop(
+        store, poll_s=args.poll, max_cells=args.max_cells,
+        idle_exit_s=args.idle_exit, algorithm=args.algorithm,
+        on_cell=on_cell)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=1))
+    else:
+        print(f"worker {summary.worker_id}: {summary.executed} cell(s) "
+              f"in {summary.wall_s:.1f}s — {summary.ok} ok, "
+              f"{summary.errors} error, {summary.cancelled} released "
+              f"on cancel, {summary.stale_reclaims} stale reclaim(s)")
+    return EXIT_OK if summary.errors == 0 else EXIT_FAILURE
+
+
+def _cmd_submit(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    devices = _single(parser, args.devices, "--devices", 1)
+    batches = _single(parser, args.batches, "--batches", None)
+    _reject_flags(parser, args, "submit", metrics_out="--metrics-out")
+    import repro.api as api
+
+    store = _service_store_arg(parser, args)
+    try:
+        fp = api.submit(
+            args.algorithm, args.dataset, quality=args.quality,
+            platform=args.platform, devices=devices, batches=batches,
+            pointing_engine=args.pointing_engine, seed=args.seed,
+            label=args.label, priority=args.priority,
+            client=args.client, store=store)
+    except (api.JobError, ValueError) as exc:
+        print(f"submission rejected: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    if not args.wait:
+        if args.json:
+            print(json.dumps(
+                {"fingerprint": fp,
+                 "state": api.status(fp, store=store).state}, indent=1))
+        else:
+            print(fp)
+        return EXIT_OK
+    try:
+        record = api.result(fp, store=store, wait=True,
+                            timeout=args.timeout)
+    except api.JobCancelled:
+        print(f"job {fp} was cancelled", file=sys.stderr)
+        return EXIT_FAILURE
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_FAILURE
+    _render_job_record(record, args.json)
+    return EXIT_OK if record.ok else EXIT_FAILURE
+
+
+def _cmd_job(parser: argparse.ArgumentParser,
+             args: argparse.Namespace) -> int:
+    import repro.api as api
+
+    store = _service_store_arg(parser, args)
+    fp = args.fingerprint
+    if not fp.startswith("cell:"):
+        fp = f"cell:{fp}"
+    try:
+        if args.job_action == "status":
+            st = api.status(fp, store=store)
+            if args.json:
+                print(json.dumps(st.to_dict(), indent=1))
+            else:
+                bits = [f"state={st.state}",
+                        f"priority={st.priority}",
+                        f"attempts={st.attempts}"]
+                if st.client:
+                    bits.append(f"client={st.client}")
+                if st.worker:
+                    bits.append(f"worker={st.worker}")
+                if st.error_type:
+                    bits.append(f"error={st.error_type}: "
+                                f"{st.error_message}")
+                print(f"{st.fingerprint} {st.algorithm} "
+                      f"on {st.dataset or '-'}: " + ", ".join(bits))
+            return EXIT_OK
+        if args.job_action == "result":
+            record = api.result(fp, store=store, wait=args.wait,
+                                timeout=args.timeout)
+            if record is None:
+                state = api.status(fp, store=store).state
+                print(f"job {fp} is still {state} "
+                      "(--wait blocks until it finishes)",
+                      file=sys.stderr)
+                return EXIT_FAILURE
+            _render_job_record(record, args.json)
+            return EXIT_OK if record.ok else EXIT_FAILURE
+        cancelled = api.cancel(fp, store=store)
+        if args.json:
+            print(json.dumps({"fingerprint": fp,
+                              "cancelled": cancelled}, indent=1))
+        elif cancelled:
+            print(f"cancellation requested for {fp}")
+        else:
+            print(f"{fp} is already done; nothing to cancel")
+        return EXIT_OK if cancelled else EXIT_FAILURE
+    except api.JobNotFound:
+        print(f"no job {fp} in {store if isinstance(store, str) else store.path}",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    except api.JobCancelled:
+        print(f"job {fp} was cancelled", file=sys.stderr)
+        return EXIT_FAILURE
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_FAILURE
+
+
 def _cmd_cache(parser: argparse.ArgumentParser,
                args: argparse.Namespace) -> int:
     """Disk snapshots plus the shared-memory graph plane.
@@ -1059,6 +1328,10 @@ _COMMANDS: dict[str, Callable[[argparse.ArgumentParser,
     "report": _cmd_report,
     "analysis": _cmd_analysis,
     "store": _cmd_store,
+    "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "submit": _cmd_submit,
+    "job": _cmd_job,
     "cache": _cmd_cache,
     "list": _cmd_list,
 }

@@ -57,10 +57,9 @@ def run_algorithm(name: str, graph: CSRGraph, **kwargs: Any) -> MatchResult:
     """Run algorithm ``name`` on ``graph``.
 
     .. deprecated::
-        Use :func:`repro.engine.execute` (which returns a full
-        :class:`~repro.engine.record.RunRecord`, normalises
-        ``stats["config"]`` and drives sinks) or
-        :func:`repro.engine.cells.run_cells` for grids.  This thin
+        Use :mod:`repro.api` — :func:`repro.api.run` for a synchronous
+        record in this process, :func:`repro.api.submit` to queue the
+        job for a worker fleet or a ``repro serve`` daemon.  This thin
         dispatcher stays for scripts that want the bare
         :class:`MatchResult`.
 
@@ -69,8 +68,9 @@ def run_algorithm(name: str, graph: CSRGraph, **kwargs: Any) -> MatchResult:
     paper's '-' entries.
     """
     warnings.warn(
-        "run_algorithm() is deprecated; use repro.engine.execute() "
-        "(single run) or repro.engine.run_cells() (grids) instead",
+        "run_algorithm() is deprecated; use repro.api.run() "
+        "(synchronous record) or repro.api.submit() (queued job) "
+        "instead",
         DeprecationWarning, stacklevel=2,
     )
     return get_spec(name).fn(graph, **kwargs)

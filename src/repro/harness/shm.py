@@ -95,10 +95,24 @@ SHM_UNLINK_COUNTER = "repro_shm_unlink_total"
 
 _INT8 = np.dtype(np.int64).itemsize
 
-#: Unlinked mappings that still had live zero-copy views at close time.
-#: Kept referenced so their ``__del__`` never re-raises ``BufferError``
-#: during GC; the virtual mappings are reclaimed at process exit.
-_ZOMBIE_MAPPINGS: list = []
+def _quiet_close(shm) -> None:
+    """Close a ``SharedMemory`` handle even while views are exported.
+
+    ``SharedMemory.close()`` (and its ``__del__``) raises ``BufferError``
+    when zero-copy numpy views over the mapping are still alive — an
+    unavoidable situation for an attacher whose graphs outlive the
+    registry (records may reference them).  Dropping the Python-level
+    ``memoryview``/``mmap`` wrappers instead defers the actual unmap to
+    their C-level deallocation, which never raises: the views keep the
+    mapping alive exactly as long as they need it, the file descriptor
+    is released immediately, and ``__del__`` finds nothing left to
+    close."""
+    try:
+        shm.close()
+    except BufferError:
+        shm._buf = None
+        shm._mmap = None
+        shm.close()  # releases the fd; nothing else remains
 
 
 def shm_enabled() -> bool:
@@ -256,16 +270,10 @@ class SharedGraphRegistry:
             shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
-        try:
-            shm.close()
-        except BufferError:
-            # Zero-copy views over the mapping are still alive (e.g.
-            # the publishing process also attached).  The name is gone
-            # and the kernel frees the memory when the last map drops —
-            # but ``SharedMemory.__del__`` would retry the close and
-            # raise the same BufferError unraisably mid-GC, so anchor
-            # the handle for the rest of the process instead.
-            _ZOMBIE_MAPPINGS.append(shm)
+        # Zero-copy views over the mapping may still be alive (e.g. the
+        # publishing process also attached).  The name is gone and the
+        # kernel frees the memory when the last map drops.
+        _quiet_close(shm)
         self.unlinks += 1
         count(SHM_UNLINK_COUNTER, 1,
               "Shared-memory graph segments unlinked.")
@@ -273,6 +281,9 @@ class SharedGraphRegistry:
     def unlink_all(self) -> int:
         """Force-unlink every segment this process owns (atexit hook).
 
+        Also quiet-closes attach-side handles so an attacher process
+        exits without ``SharedMemory.__del__`` noise (graphs handed out
+        by :meth:`attach` stay valid — their views pin the mapping).
         Safe to call repeatedly; returns the number unlinked.
         """
         n = 0
@@ -280,6 +291,10 @@ class SharedGraphRegistry:
             self._unlink(entry[0])
             n += 1
         self._published.clear()
+        for keep, _graph in self._attached.values():
+            if keep is not None:
+                _quiet_close(keep)
+        self._attached.clear()
         return n
 
     # -------------------------------------------------------------- #

@@ -1,0 +1,28 @@
+"""repro.service — the serving layer over the shared run store.
+
+Two long-running processes turn the batch-oriented reproduction into
+an always-on matching service:
+
+* :func:`repro.service.daemon.serve` (``repro serve``) — the HTTP
+  front door: accepts job submissions, serves status/results and
+  ``/metrics``;
+* :func:`repro.service.worker.worker_loop` (``repro worker``) — the
+  execution fleet: any number of processes claim cells
+  priority-first from the same store and run them.
+
+Clients should not import this package directly — :mod:`repro.api` is
+the supported surface (``submit``/``status``/``result``/``cancel``/
+``query`` against a store path or a daemon URL, plus ``process()``
+for an inline worker).
+"""
+
+from repro.service.daemon import build_server, serve
+from repro.service.worker import WorkerSummary, run_claimed_cell, worker_loop
+
+__all__ = [
+    "build_server",
+    "serve",
+    "WorkerSummary",
+    "run_claimed_cell",
+    "worker_loop",
+]

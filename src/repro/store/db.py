@@ -24,12 +24,24 @@ served back **bit-identically** via
 records match the uninterrupted run's field for field (the served
 record even carries the original run's wall time and provenance).
 
-Telemetry: every lookup hit, claim and stale-lease reclaim counts into
-``repro_store_hits_total`` / ``repro_store_claims_total`` /
-``repro_store_stale_reclaims_total`` through the active
+Since schema 2 every row also carries the *service* columns that turn
+the store into a job queue for the ``repro serve`` daemon and the
+``repro worker`` fleet (:mod:`repro.service`): ``priority`` (higher
+drains first), ``client`` (who submitted, for per-client quotas) and
+``cancel_requested`` (workers skip flagged rows between rounds; a
+direct :meth:`RunStore.claim` of a named fingerprint still wins, so
+``store resume`` can deliberately re-run a cancelled cell).  Schema-1
+stores migrate in place on first open — old rows keep their
+fingerprints and records and gain the new columns with service-neutral
+defaults.
+
+Telemetry: every lookup hit, claim, stale-lease reclaim and
+cancellation counts into ``repro_store_hits_total`` /
+``repro_store_claims_total`` / ``repro_store_stale_reclaims_total`` /
+``repro_store_cancels_total`` through the active
 :mod:`repro.telemetry` registry (no-op when none is active); the same
 counts are mirrored on the instance (``hits``/``claims``/
-``stale_reclaims``) for in-process consumers.
+``stale_reclaims``/``cancels``) for in-process consumers.
 
 Environment: ``REPRO_RUN_STORE`` names the default store path for the
 CLI's ``--store`` flag; ``REPRO_RUN_STORE_LEASE_S`` overrides the
@@ -59,7 +71,7 @@ __all__ = [
 ]
 
 #: Bump when the ``runs`` table layout changes incompatibly.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 RUN_STORE_ENV = "REPRO_RUN_STORE"
 _ENV_LEASE = "REPRO_RUN_STORE_LEASE_S"
@@ -71,6 +83,7 @@ STATUSES = ("pending", "leased", "done", "error")
 HITS_COUNTER = "repro_store_hits_total"
 CLAIMS_COUNTER = "repro_store_claims_total"
 STALE_COUNTER = "repro_store_stale_reclaims_total"
+CANCELS_COUNTER = "repro_store_cancels_total"
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS store_meta (
@@ -94,13 +107,34 @@ CREATE TABLE IF NOT EXISTS runs (
     error_type        TEXT,
     error_message     TEXT,
     created_at        REAL NOT NULL,
-    updated_at        REAL NOT NULL
+    updated_at        REAL NOT NULL,
+    priority          INTEGER NOT NULL DEFAULT 0,
+    client            TEXT,
+    cancel_requested  INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS runs_status ON runs (status);
 CREATE INDEX IF NOT EXISTS runs_algorithm ON runs (algorithm);
 CREATE INDEX IF NOT EXISTS runs_dataset ON runs (dataset);
 CREATE INDEX IF NOT EXISTS runs_created ON runs (created_at);
 """
+
+#: Columns added by each schema migration step, in bump order.  A
+#: schema-1 store gains exactly these on first open by a schema-2
+#: reader; existing rows keep their fingerprints and records.
+_MIGRATIONS: dict[int, tuple[str, ...]] = {
+    2: (
+        "ALTER TABLE runs ADD COLUMN priority "
+        "INTEGER NOT NULL DEFAULT 0",
+        "ALTER TABLE runs ADD COLUMN client TEXT",
+        "ALTER TABLE runs ADD COLUMN cancel_requested "
+        "INTEGER NOT NULL DEFAULT 0",
+    ),
+}
+
+#: Created after migration (references schema-2 columns, so it cannot
+#: live in ``_SCHEMA_SQL``, which an un-migrated v1 table also runs).
+_CLAIM_INDEX_SQL = ("CREATE INDEX IF NOT EXISTS runs_claim "
+                    "ON runs (status, priority DESC, created_at)")
 
 
 def _count(name: str) -> None:
@@ -132,6 +166,9 @@ class StoredRun:
     error_message: str | None
     created_at: float
     updated_at: float
+    priority: int = 0
+    client: str | None = None
+    cancel_requested: bool = False
 
     def record(self) -> "RunRecord | None":
         """The stored :class:`RunRecord` (``done``/``error`` rows)."""
@@ -140,6 +177,15 @@ class StoredRun:
         from repro.engine.record import RunRecord
 
         return RunRecord.from_json(self.record_json)
+
+    @property
+    def state(self) -> str:
+        """The job-facing lifecycle state: the row status, except that
+        a claimable row flagged ``cancel_requested`` reads
+        ``cancelled`` — no worker will pick it up again."""
+        if self.cancel_requested and self.status in ("pending", "error"):
+            return "cancelled"
+        return self.status
 
     @property
     def resumable(self) -> bool:
@@ -168,6 +214,9 @@ def _row_to_run(row: sqlite3.Row) -> StoredRun:
         error_message=row["error_message"],
         created_at=row["created_at"],
         updated_at=row["updated_at"],
+        priority=row["priority"],
+        client=row["client"],
+        cancel_requested=bool(row["cancel_requested"]),
     )
 
 
@@ -208,6 +257,7 @@ class RunStore:
         self.hits = 0
         self.claims = 0
         self.stale_reclaims = 0
+        self.cancels = 0
 
     # -------------------------------------------------------------- #
     # connection plumbing
@@ -242,8 +292,36 @@ class RunStore:
             raise ValueError(
                 f"run store {self.path} has schema {stored}, newer than "
                 f"supported ({STORE_SCHEMA_VERSION})")
+        if stored < STORE_SCHEMA_VERSION:
+            self._migrate(conn, stored)
+        conn.execute(_CLAIM_INDEX_SQL)
         self._conn = conn
         return conn
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection, stored: int) -> None:
+        """Bring an older store up to :data:`STORE_SCHEMA_VERSION` in
+        place (additive column migrations; rows are preserved)."""
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            # Another writer may have migrated while we waited.
+            stored = int(conn.execute(
+                "SELECT value FROM store_meta WHERE key='schema'"
+            ).fetchone()["value"])
+            have = {r["name"] for r in conn.execute(
+                "PRAGMA table_info(runs)")}
+            for version in sorted(_MIGRATIONS):
+                if version <= stored:
+                    continue
+                for stmt in _MIGRATIONS[version]:
+                    column = stmt.split("ADD COLUMN", 1)[1].split()[0]
+                    if column not in have:
+                        conn.execute(stmt)
+            conn.execute(
+                "UPDATE store_meta SET value=? WHERE key='schema'",
+                (str(STORE_SCHEMA_VERSION),))
+        finally:
+            conn.execute("COMMIT")
 
     def close(self) -> None:
         if self._conn is not None:
@@ -276,9 +354,17 @@ class RunStore:
                  config: dict[str, Any], seed: int | None = None,
                  graph_fingerprint: str | None = None,
                  dataset: str | None = None,
-                 record_schema: int | None = None) -> bool:
+                 record_schema: int | None = None,
+                 priority: int = 0,
+                 client: str | None = None) -> bool:
         """Ensure a row exists for ``fingerprint`` (``pending`` when
-        new); returns True if this call created it."""
+        new); returns True if this call created it.
+
+        ``priority``/``client`` are the service-plane columns: workers
+        drain higher priorities first (ties oldest-first) and ``client``
+        attributes the job for quotas and queries.  Re-registering an
+        existing row never changes them (the first submission wins).
+        """
         if record_schema is None:
             from repro.engine.record import SCHEMA_VERSION
 
@@ -287,13 +373,14 @@ class RunStore:
         cur = self._connect().execute(
             "INSERT OR IGNORE INTO runs (fingerprint, algorithm, "
             "dataset, graph_fingerprint, config_json, seed, "
-            "record_schema, status, created_at, updated_at) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, 'pending', ?, ?)",
+            "record_schema, status, created_at, updated_at, "
+            "priority, client) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, 'pending', ?, ?, ?, ?)",
             (fingerprint, algorithm,
              dataset if dataset is not None else config.get("dataset"),
              graph_fingerprint,
              json.dumps(config, sort_keys=True, default=repr),
-             seed, record_schema, now, now))
+             seed, record_schema, now, now, int(priority), client))
         return cur.rowcount > 0
 
     def get(self, fingerprint: str) -> StoredRun | None:
@@ -372,6 +459,85 @@ class RunStore:
             _count(STALE_COUNTER)
         return True
 
+    def claim_next(self, lease_seconds: float | None = None, *,
+                   algorithm: str | Iterable[str] | None = None,
+                   include_errors: bool = False) -> StoredRun | None:
+        """Atomically claim the next claimable row, priority-first.
+
+        The worker-fleet entry point (:mod:`repro.service.worker`):
+        picks the highest-``priority`` claimable row (ties: oldest
+        ``created_at``, then fingerprint — deterministic), skipping
+        rows whose ``cancel_requested`` flag is set.  Claimable means
+        ``pending`` or a ``leased`` row whose lease expired (dead
+        worker); ``error`` rows are excluded unless
+        ``include_errors=True`` so a persistently crashing cell cannot
+        trap the fleet in a retry loop (``store resume`` re-runs them
+        deliberately).  Returns the claimed row (re-read after the
+        lease was taken) or ``None`` when nothing is claimable.
+        """
+        lease = self.lease_seconds if lease_seconds is None \
+            else float(lease_seconds)
+        conn = self._connect()
+        now = self.clock()
+        statuses = ["pending", "error"] if include_errors \
+            else ["pending"]
+        marks = ",".join("?" for _ in statuses)
+        params: list[Any] = [*statuses, now]
+        algo_clause = ""
+        if algorithm is not None:
+            wanted = [algorithm] if isinstance(algorithm, str) \
+                else list(algorithm)
+            algo_clause = (" AND algorithm IN ("
+                           + ",".join("?" for _ in wanted) + ")")
+            params.extend(wanted)
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                f"SELECT fingerprint, status, lease_expires_at "
+                f"FROM runs WHERE cancel_requested=0 AND "
+                f"(status IN ({marks}) OR (status='leased' AND "
+                f"lease_expires_at IS NOT NULL AND "
+                f"lease_expires_at < ?)){algo_clause} "
+                f"ORDER BY priority DESC, created_at, fingerprint "
+                f"LIMIT 1", params).fetchone()
+            if row is None:
+                return None
+            fingerprint = row["fingerprint"]
+            stale = row["status"] == "leased"
+            conn.execute(
+                "UPDATE runs SET status='leased', worker=?, "
+                "lease_expires_at=?, heartbeat_at=?, "
+                "attempts=attempts+1, updated_at=? WHERE fingerprint=?",
+                (self.worker_id, now + lease, now, now, fingerprint))
+        finally:
+            conn.execute("COMMIT")
+        self.claims += 1
+        _count(CLAIMS_COUNTER)
+        if stale:
+            self.stale_reclaims += 1
+            _count(STALE_COUNTER)
+        return self.get(fingerprint)
+
+    def request_cancel(self, fingerprint: str) -> bool:
+        """Flag a job so the worker fleet never (re)starts it.
+
+        Sets ``cancel_requested`` on any non-``done`` row; workers
+        skip flagged rows between rounds (:meth:`claim_next`) and a
+        worker that already holds the lease checks the flag before
+        executing, releasing the row instead.  Rows that finished
+        before the flag landed stay ``done`` — cancellation never
+        un-publishes a result.  Returns True when a row was flagged.
+        """
+        cur = self._connect().execute(
+            "UPDATE runs SET cancel_requested=1, updated_at=? "
+            "WHERE fingerprint=? AND status != 'done'",
+            (self.clock(), fingerprint))
+        if cur.rowcount > 0:
+            self.cancels += 1
+            _count(CANCELS_COUNTER)
+            return True
+        return False
+
     def heartbeat(self, fingerprint: str,
                   lease_seconds: float | None = None) -> bool:
         """Refresh this worker's lease; False if the lease was lost."""
@@ -393,18 +559,57 @@ class RunStore:
         self._connect().execute(
             "UPDATE runs SET status=?, record_json=?, error_type=?, "
             "error_message=?, worker=NULL, lease_expires_at=NULL, "
-            "updated_at=? WHERE fingerprint=?",
+            "heartbeat_at=NULL, updated_at=? WHERE fingerprint=?",
             ("done" if record.ok else "error", record.to_json(),
              error.get("type"), error.get("message"), now, fingerprint))
 
     def release(self, fingerprint: str) -> bool:
         """Hand a leased row back to ``pending`` (interrupted worker on
-        its way out); False if this worker no longer held it."""
+        its way out); False if this worker no longer held it.
+
+        Clears ``worker`` *and* ``heartbeat_at`` — a claimable row must
+        never advertise a dead worker in ``store ls``.
+        """
         cur = self._connect().execute(
             "UPDATE runs SET status='pending', worker=NULL, "
-            "lease_expires_at=NULL, updated_at=? "
+            "lease_expires_at=NULL, heartbeat_at=NULL, updated_at=? "
             "WHERE fingerprint=? AND worker=? AND status='leased'",
             (self.clock(), fingerprint, self.worker_id))
+        return cur.rowcount > 0
+
+    # -------------------------------------------------------------- #
+    # shared metadata (worker-fleet side channel)
+    # -------------------------------------------------------------- #
+
+    def meta_get(self, key: str) -> str | None:
+        """A value from the ``store_meta`` key/value table."""
+        row = self._connect().execute(
+            "SELECT value FROM store_meta WHERE key=?", (key,)
+        ).fetchone()
+        return row["value"] if row is not None else None
+
+    def meta_set(self, key: str, value: str) -> None:
+        """Upsert a ``store_meta`` value.  The ``schema`` key is the
+        store's own and cannot be overwritten through this path.
+
+        The worker fleet uses this as its tiny coordination channel:
+        e.g. ``shm:<graph_fingerprint>`` carries the shared-memory
+        segment descriptor a co-located worker published, so siblings
+        attach the staged graph zero-copy instead of rebuilding it.
+        """
+        if key == "schema":
+            raise ValueError("'schema' is reserved")
+        self._connect().execute(
+            "INSERT INTO store_meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+            (key, value))
+
+    def meta_delete(self, key: str) -> bool:
+        """Drop a ``store_meta`` value; True if it existed."""
+        if key == "schema":
+            raise ValueError("'schema' is reserved")
+        cur = self._connect().execute(
+            "DELETE FROM store_meta WHERE key=?", (key,))
         return cur.rowcount > 0
 
     # -------------------------------------------------------------- #
@@ -433,6 +638,7 @@ class RunStore:
         algorithm: str | Iterable[str] | None = None,
         dataset: str | Iterable[str] | None = None,
         status: str | Iterable[str] | None = None,
+        client: str | Iterable[str] | None = None,
         created_after: float | None = None,
         created_before: float | None = None,
     ) -> list[StoredRun]:
@@ -450,7 +656,8 @@ class RunStore:
         params: list[Any] = []
         for column, value in (("algorithm", algorithm),
                               ("dataset", dataset),
-                              ("status", status)):
+                              ("status", status),
+                              ("client", client)):
             if value is None:
                 continue
             wanted = [value] if isinstance(value, str) else list(value)
@@ -479,11 +686,13 @@ class RunStore:
 
     def reclaim_stale(self) -> int:
         """Move every expired lease back to ``pending``; returns the
-        number of rows reclaimed."""
+        number of rows reclaimed.  The dead worker's identity and last
+        heartbeat are cleared with the lease."""
         now = self.clock()
         cur = self._connect().execute(
             "UPDATE runs SET status='pending', worker=NULL, "
-            "lease_expires_at=NULL, updated_at=? WHERE status='leased' "
+            "lease_expires_at=NULL, heartbeat_at=NULL, updated_at=? "
+            "WHERE status='leased' "
             "AND lease_expires_at IS NOT NULL AND lease_expires_at < ?",
             (now, now))
         n = cur.rowcount
@@ -516,7 +725,11 @@ class RunStore:
                 "seed": r.seed,
                 "record_schema": r.record_schema,
                 "status": r.status,
+                "state": r.state,
                 "attempts": r.attempts,
+                "priority": r.priority,
+                "client": r.client,
+                "cancel_requested": r.cancel_requested,
                 "config": r.config,
                 "error_type": r.error_type,
                 "error_message": r.error_message,

@@ -47,10 +47,20 @@ Metric names are a contract::
     repro_store_hits_total                                      counter
     repro_store_claims_total                                    counter
     repro_store_stale_reclaims_total                            counter
+    repro_store_cancels_total                                   counter
+    repro_service_requests_total{method}                        counter
+    repro_service_submissions_total                             counter
+    repro_service_rejections_total{reason}                      counter
+    repro_service_jobs{state}                                   gauge
+    repro_service_uptime_seconds                                gauge
 
-The three ``repro_store_*`` counters come from the run store
+The four ``repro_store_*`` counters come from the run store
 (:mod:`repro.store`): records served without recompute, leases taken,
-and leases reclaimed from dead workers.
+leases reclaimed from dead workers, and cancellation requests.  The
+``repro_service_*`` families are the ``repro serve`` daemon's own
+(:mod:`repro.service.daemon`), scraped from its ``/metrics``
+endpoint; the jobs gauge counts the derived ``cancelled`` state
+alongside the row statuses.
 """
 
 from repro.telemetry.registry import (

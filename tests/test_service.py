@@ -1,0 +1,657 @@
+"""The serving layer: schema migration, the `repro.api` facade (local
+and HTTP), the daemon, the worker fleet, and the end-to-end
+daemon + workers + kill + cancel drill asserting bit-identity with
+serial `run_cells`."""
+
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.engine.cells import run_cells
+from repro.service.daemon import build_server
+from repro.service.worker import worker_loop
+from repro.store.db import STORE_SCHEMA_VERSION, RunStore
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+DATASET = "mouse_gene"  # 2500 vertices — milliseconds per cell
+
+
+def _strip_wall(record):
+    """A record's JSON document minus the wall-clock fields — the only
+    legitimately non-deterministic bits (same convention as
+    tests/test_store.py)."""
+    doc = json.loads(record.to_json())
+    for key in ("wall_time_s", "started_at", "duration_s"):
+        doc.pop(key, None)
+    (doc.get("provenance") or {}).pop("wall_time_s", None)
+    return doc
+
+
+def _canon(record) -> str:
+    return json.dumps(_strip_wall(record), sort_keys=True)
+
+
+def _register_n(store, n, **kwargs):
+    fps = []
+    for i in range(n):
+        fp = f"cell:{i:040d}"
+        store.register(fp, algorithm=kwargs.pop("algorithm", "ld_gpu"),
+                       config={"dataset": DATASET}, **kwargs)
+        fps.append(fp)
+    return fps
+
+
+# ------------------------------------------------------------------ #
+# schema migration (v1 -> v2) backward compatibility
+# ------------------------------------------------------------------ #
+
+_V1_SCHEMA = """
+CREATE TABLE store_meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE runs (
+    fingerprint       TEXT PRIMARY KEY,
+    algorithm         TEXT NOT NULL,
+    dataset           TEXT,
+    graph_fingerprint TEXT,
+    config_json       TEXT NOT NULL,
+    seed              INTEGER,
+    record_schema     INTEGER NOT NULL,
+    status            TEXT NOT NULL DEFAULT 'pending',
+    worker            TEXT,
+    lease_expires_at  REAL,
+    heartbeat_at      REAL,
+    attempts          INTEGER NOT NULL DEFAULT 0,
+    record_json       TEXT,
+    error_type        TEXT,
+    error_message     TEXT,
+    created_at        REAL NOT NULL,
+    updated_at        REAL NOT NULL
+);
+INSERT INTO store_meta (key, value) VALUES ('schema', '1');
+"""
+
+
+def _make_v1_store(path, rows=()):
+    conn = sqlite3.connect(str(path))
+    conn.executescript(_V1_SCHEMA)
+    for fp, status in rows:
+        conn.execute(
+            "INSERT INTO runs (fingerprint, algorithm, dataset, "
+            "config_json, record_schema, status, created_at, "
+            "updated_at, attempts) VALUES (?, 'ld_gpu', ?, ?, 3, ?, "
+            "1.0, 1.0, 1)",
+            (fp, DATASET, json.dumps({"dataset": DATASET}), status))
+    conn.commit()
+    conn.close()
+
+
+class TestSchemaMigration:
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        db = tmp_path / "v1.db"
+        _make_v1_store(db, [("cell:" + "a" * 40, "done"),
+                            ("cell:" + "b" * 40, "pending")])
+        store = RunStore(db)
+        rows = store.select()
+        assert len(rows) == 2
+        for r in rows:
+            assert r.priority == 0
+            assert r.client is None
+            assert r.cancel_requested is False
+        conn = sqlite3.connect(str(db))
+        assert conn.execute(
+            "SELECT value FROM store_meta WHERE key='schema'"
+        ).fetchone()[0] == str(STORE_SCHEMA_VERSION)
+        conn.close()
+        # the migrated store is fully service-capable
+        row = store.claim_next()
+        assert row is not None and row.fingerprint.endswith("b" * 40)
+        assert store.request_cancel("cell:" + "a" * 40) is False  # done
+
+    def test_migration_fills_only_missing_columns(self, tmp_path):
+        db = tmp_path / "v1partial.db"
+        _make_v1_store(db, [("cell:" + "c" * 40, "pending")])
+        conn = sqlite3.connect(str(db))
+        conn.execute("ALTER TABLE runs ADD COLUMN priority INTEGER "
+                     "NOT NULL DEFAULT 7")
+        conn.commit()
+        conn.close()
+        store = RunStore(db)
+        row = store.get("cell:" + "c" * 40)
+        assert row.priority == 7  # pre-existing column untouched
+        assert row.cancel_requested is False
+
+    def test_newer_schema_refused(self, tmp_path):
+        db = tmp_path / "future.db"
+        _make_v1_store(db)
+        conn = sqlite3.connect(str(db))
+        conn.execute("UPDATE store_meta SET value='99' "
+                     "WHERE key='schema'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="newer than supported"):
+            RunStore(db).counts()
+
+
+# ------------------------------------------------------------------ #
+# store service primitives
+# ------------------------------------------------------------------ #
+
+
+class TestServicePrimitives:
+    def test_claim_next_priority_then_fifo(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        store.register("cell:" + "0" * 40, algorithm="ld_gpu",
+                       config={}, priority=0)
+        store.register("cell:" + "1" * 40, algorithm="ld_gpu",
+                       config={}, priority=5)
+        store.register("cell:" + "2" * 40, algorithm="ld_gpu",
+                       config={}, priority=5)
+        order = [store.claim_next().fingerprint for _ in range(3)]
+        # priority first, then oldest-first within a priority
+        assert order == ["cell:" + "1" * 40, "cell:" + "2" * 40,
+                         "cell:" + "0" * 40]
+        assert store.claim_next() is None
+
+    def test_claim_next_skips_cancelled(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        fp_a, fp_b = _register_n(store, 2)
+        assert store.request_cancel(fp_a) is True
+        row = store.claim_next()
+        assert row.fingerprint == fp_b
+        assert store.claim_next() is None
+        assert store.get(fp_a).state == "cancelled"
+        # a targeted claim still works: `store resume` deliberately
+        # overrides the flag
+        assert store.claim(fp_a) is not None
+
+    def test_claim_next_reclaims_expired_lease(self, tmp_path):
+        now = [1000.0]
+        store = RunStore(tmp_path / "runs.db", lease_seconds=10.0,
+                         clock=lambda: now[0], worker_id="w1")
+        (fp,) = _register_n(store, 1)
+        assert store.claim_next().fingerprint == fp
+        assert store.claim_next() is None  # lease held
+        now[0] += 11.0
+        row = store.claim_next()
+        assert row.fingerprint == fp
+        assert row.attempts == 2
+        assert store.stale_reclaims == 1
+
+    def test_claim_next_algorithm_filter_and_errors(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        store.register("cell:" + "a" * 40, algorithm="ld_gpu",
+                       config={})
+        store.register("cell:" + "b" * 40, algorithm="suitor_seq",
+                       config={})
+        row = store.claim_next(algorithm="suitor_seq")
+        assert row.algorithm == "suitor_seq"
+        assert store.claim_next(algorithm="suitor_seq") is None
+        assert store.claim_next().algorithm == "ld_gpu"
+
+    def test_register_first_submission_wins(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        fp = "cell:" + "d" * 40
+        store.register(fp, algorithm="ld_gpu", config={}, priority=4,
+                       client="alice")
+        store.register(fp, algorithm="ld_gpu", config={}, priority=9,
+                       client="bob")
+        row = store.get(fp)
+        assert (row.priority, row.client) == (4, "alice")
+
+    def test_release_clears_worker_and_heartbeat(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db", worker_id="w1")
+        (fp,) = _register_n(store, 1)
+        store.claim_next()
+        store.heartbeat(fp)
+        assert store.release(fp) is True
+        row = store.get(fp)
+        assert row.status == "pending"
+        assert row.worker is None
+        assert row.heartbeat_at is None
+        assert row.lease_expires_at is None
+
+    def test_reclaim_stale_clears_worker_and_heartbeat(self, tmp_path):
+        now = [0.0]
+        store = RunStore(tmp_path / "runs.db", lease_seconds=5.0,
+                         clock=lambda: now[0], worker_id="dead")
+        (fp,) = _register_n(store, 1)
+        store.claim_next()
+        store.heartbeat(fp)
+        now[0] += 100.0
+        assert store.reclaim_stale() == 1
+        row = store.get(fp)
+        assert (row.status, row.worker, row.heartbeat_at) == \
+            ("pending", None, None)
+
+    def test_meta_kv_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        assert store.meta_get("shm:x") is None
+        store.meta_set("shm:x", "one")
+        store.meta_set("shm:x", "two")  # upsert
+        assert store.meta_get("shm:x") == "two"
+        assert store.meta_delete("shm:x") is True
+        assert store.meta_delete("shm:x") is False
+        with pytest.raises(ValueError):
+            store.meta_set("schema", "boom")
+
+
+# ------------------------------------------------------------------ #
+# the repro.api facade, local mode
+# ------------------------------------------------------------------ #
+
+
+class TestApiLocal:
+    def test_submit_process_result_roundtrip(self, tmp_path):
+        db = tmp_path / "runs.db"
+        fp = api.submit("ld_gpu", DATASET, devices=2, seed=3,
+                        priority=1, client="t", store=db)
+        st = api.status(fp, store=db)
+        assert (st.state, st.priority, st.client) == ("pending", 1, "t")
+        assert not st.terminal
+        assert api.result(fp, store=db) is None  # in flight
+        assert api.process(store=db) == 1
+        record = api.result(fp, store=db)
+        assert record.ok
+        # resubmission is idempotent and never clobbers the result
+        assert api.submit("ld_gpu", DATASET, devices=2, seed=3,
+                          store=db) == fp
+        assert api.status(fp, store=db).state == "done"
+
+    def test_worker_record_identical_to_run(self, tmp_path):
+        db = tmp_path / "runs.db"
+        fp = api.submit("ld_gpu", DATASET, devices=4, batches=2,
+                        seed=11, store=db)
+        api.process(store=db)
+        fleet = api.result(fp, store=db)
+        serial = api.run("ld_gpu", DATASET, devices=4, batches=2,
+                         seed=11)
+        assert _canon(fleet) == _canon(serial)
+
+    def test_submit_validation(self, tmp_path):
+        db = tmp_path / "runs.db"
+        with pytest.raises(KeyError):
+            api.submit("no_such_algo", DATASET, store=db)
+        with pytest.raises(ValueError, match="unknown dataset"):
+            api.submit("ld_gpu", "no_such_dataset", store=db)
+        with pytest.raises(ValueError, match="graph source"):
+            api.submit("ld_gpu", store=db)
+        with pytest.raises(ValueError, match="not importable by workers"
+                                             "|lambdas and closures"):
+            api.submit("ld_gpu", builder=lambda: None, store=db)
+        with pytest.raises(ValueError, match="pointing_engine"):
+            api.submit("greedy", DATASET,
+                       pointing_engine="index", store=db)
+        assert RunStore(db).counts()["pending"] == 0  # nothing landed
+
+    def test_cancel_and_query(self, tmp_path):
+        db = tmp_path / "runs.db"
+        fp_run = api.submit("ld_gpu", DATASET, seed=1, store=db)
+        fp_cancel = api.submit("ld_gpu", DATASET, seed=2, store=db,
+                               client="c2")
+        assert api.cancel(fp_cancel, store=db) is True
+        assert api.process(store=db) == 1  # the cancelled one skipped
+        with pytest.raises(api.JobCancelled):
+            api.result(fp_cancel, store=db)
+        states = {j.fingerprint: j.state for j in api.query(store=db)}
+        assert states == {fp_run: "done", fp_cancel: "cancelled"}
+        assert [j.fingerprint for j in
+                api.query(state="cancelled", store=db)] == [fp_cancel]
+        assert [j.fingerprint for j in
+                api.query(client="c2", store=db)] == [fp_cancel]
+        # cancelling a done job is a no-op
+        assert api.cancel(fp_run, store=db) is False
+
+    def test_status_unknown_job(self, tmp_path):
+        with pytest.raises(api.JobNotFound):
+            api.status("cell:" + "f" * 40, store=tmp_path / "runs.db")
+
+    def test_result_wait_timeout(self, tmp_path):
+        db = tmp_path / "runs.db"
+        fp = api.submit("ld_gpu", DATASET, store=db)
+        with pytest.raises(TimeoutError):
+            api.result(fp, store=db, wait=True, timeout=0.2,
+                       poll_s=0.05)
+
+
+class TestApiSurface:
+    def test_api_exported_from_package_root(self):
+        assert "api" in repro.__all__
+        assert repro.api.submit is api.submit
+
+    def test_run_algorithm_points_at_api(self, medium_graph):
+        from repro.harness import run_algorithm
+
+        with pytest.warns(DeprecationWarning, match=r"repro\.api"):
+            run_algorithm("greedy", medium_graph)
+
+
+# ------------------------------------------------------------------ #
+# the daemon (in-thread, ephemeral port)
+# ------------------------------------------------------------------ #
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    db = tmp_path / "runs.db"
+    RunStore(db).counts()  # create the database up front
+    server = build_server(db, port=0, quota=2, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    yield url, db
+    server.shutdown()
+    server.server_close()
+
+
+class TestDaemon:
+    def test_http_submission_identical_to_local(self, daemon):
+        url, db = daemon
+        fp = api.submit("ld_gpu", DATASET, devices=2, seed=5,
+                        store=url)
+        # same job submitted locally lands on the same fingerprint
+        assert api.submit("ld_gpu", DATASET, devices=2, seed=5,
+                          store=db) == fp
+        assert len(api.query(store=db)) == 1
+
+    def test_lifecycle_over_http(self, daemon):
+        url, db = daemon
+        fp = api.submit("ld_gpu", DATASET, seed=9, client="h",
+                        store=url)
+        st = api.status(fp, store=url)
+        assert (st.state, st.client) == ("pending", "h")
+        assert api.result(fp, store=url) is None
+        api.process(store=db)
+        record = api.result(fp, store=url)
+        assert record.ok
+        local = api.result(fp, store=db)
+        assert _canon(record) == _canon(local)
+        jobs = api.query(state="done", store=url)
+        assert [j.fingerprint for j in jobs] == [fp]
+
+    def test_cancel_over_http(self, daemon):
+        url, db = daemon
+        fp = api.submit("ld_gpu", DATASET, seed=10, store=url)
+        assert api.cancel(fp, store=url) is True
+        with pytest.raises(api.JobCancelled):
+            api.result(fp, store=url)
+        assert api.status(fp, store=url).state == "cancelled"
+
+    def test_unknown_job_404(self, daemon):
+        url, _ = daemon
+        with pytest.raises(api.JobNotFound):
+            api.status("cell:" + "e" * 40, store=url)
+
+    def test_invalid_submission_400(self, daemon):
+        url, _ = daemon
+        with pytest.raises(ValueError, match="unknown dataset"):
+            api.submit("ld_gpu", "nope", store=url)
+        with pytest.raises(ValueError, match="algorithm"):
+            api.submit("nope", DATASET, store=url)
+
+    def test_quota_429(self, daemon):
+        url, _ = daemon  # quota=2
+        api.submit("ld_gpu", DATASET, seed=1, client="q", store=url)
+        fp2 = api.submit("ld_gpu", DATASET, seed=2, client="q",
+                         store=url)
+        with pytest.raises(api.QuotaExceeded):
+            api.submit("ld_gpu", DATASET, seed=3, client="q",
+                       store=url)
+        # resubmitting an already-registered job passes the quota
+        assert api.submit("ld_gpu", DATASET, seed=2, client="q",
+                          store=url) == fp2
+        # other clients are unaffected
+        api.submit("ld_gpu", DATASET, seed=4, client="other",
+                   store=url)
+
+    def test_metrics_and_healthz(self, daemon):
+        url, _ = daemon
+        from repro.telemetry import validate_prometheus_text
+
+        api.submit("ld_gpu", DATASET, seed=6, store=url)
+        with urllib.request.urlopen(f"{url}/healthz") as resp:
+            doc = json.loads(resp.read())
+        assert doc["ok"] is True
+        with urllib.request.urlopen(f"{url}/metrics") as resp:
+            assert "text/plain" in resp.headers["Content-Type"]
+            text = resp.read().decode()
+        assert validate_prometheus_text(text) > 0
+        assert "repro_service_submissions_total 1" in text
+        assert 'repro_service_jobs{state="pending"} 1' in text
+
+
+# ------------------------------------------------------------------ #
+# the worker loop
+# ------------------------------------------------------------------ #
+
+
+class TestWorkerLoop:
+    def test_drains_priority_first_and_matches_serial(self, tmp_path):
+        db = tmp_path / "runs.db"
+        specs = [dict(devices=d, seed=s) for d, s in
+                 [(1, 1), (2, 1), (4, 2), (2, 3)]]
+        fps = [api.submit("ld_gpu", DATASET, **spec, priority=i,
+                          store=db)
+               for i, spec in enumerate(specs)]
+        summary = worker_loop(RunStore(db), idle_exit_s=0.0,
+                              poll_s=0.01)
+        assert summary.executed == 4
+        assert summary.ok == 4
+        # highest priority (last submitted) claimed first
+        assert summary.fingerprints[0] == fps[-1]
+        for fp, spec in zip(fps, specs):
+            fleet = api.result(fp, store=db)
+            serial = api.run("ld_gpu", DATASET, **spec)
+            assert _canon(fleet) == _canon(serial)
+
+    def test_unbuildable_cell_completes_as_error(self, tmp_path):
+        db = tmp_path / "runs.db"
+        store = RunStore(db)
+        fp = "cell:" + "9" * 40
+        store.register(fp, algorithm="ld_gpu", config={"seed": 1})
+        summary = worker_loop(store, idle_exit_s=0.0, poll_s=0.01)
+        assert summary.executed == 1
+        assert summary.errors == 1
+        assert summary.unbuildable == 1
+        row = store.get(fp)
+        assert row.status == "error"
+        assert row.error_type == "ValueError"
+        assert "not resumable" in row.error_message
+
+    def test_cancelled_cell_never_executes(self, tmp_path):
+        db = tmp_path / "runs.db"
+        fp = api.submit("ld_gpu", DATASET, seed=4, store=db)
+        api.cancel(fp, store=db)
+        summary = worker_loop(RunStore(db), idle_exit_s=0.0,
+                              poll_s=0.01)
+        assert summary.executed == 0
+        assert api.status(fp, store=db).state == "cancelled"
+
+    def test_shm_metadata_cleaned_up(self, tmp_path):
+        from repro.harness.shm import list_orphan_segments, shm_enabled
+
+        if not shm_enabled():
+            pytest.skip("shared-memory plane unavailable")
+        db = tmp_path / "runs.db"
+        api.submit("ld_gpu", DATASET, seed=8, store=db)
+        store = RunStore(db)
+        worker_loop(store, idle_exit_s=0.0, poll_s=0.01)
+        conn = sqlite3.connect(str(db))
+        keys = [r[0] for r in conn.execute(
+            "SELECT key FROM store_meta WHERE key LIKE 'shm:%'")]
+        conn.close()
+        assert keys == []
+        assert list_orphan_segments() == []
+
+
+# ------------------------------------------------------------------ #
+# CLI verb surface (exit codes 0/1/2, flag rejection)
+# ------------------------------------------------------------------ #
+
+
+class TestCliServiceVerbs:
+    def test_submit_rejects_metrics_out(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["submit", "-a", "ld_gpu", "-d", DATASET,
+                  "--metrics-out", "m.prom",
+                  "--store", str(tmp_path / "runs.db")])
+        assert exc.value.code == 2
+
+    def test_serve_and_worker_reject_daemon_url(self, capsys):
+        from repro.cli import main
+
+        for verb in ("serve", "worker"):
+            with pytest.raises(SystemExit) as exc:
+                main([verb, "--store", "http://127.0.0.1:1/"])
+            assert exc.value.code == 2
+
+    def test_submit_worker_job_flow(self, tmp_path, capsys):
+        from repro.cli import EXIT_FAILURE, EXIT_OK, main
+
+        db = str(tmp_path / "runs.db")
+        assert main(["submit", "-a", "ld_gpu", "-d", DATASET, "--seed",
+                     "5", "--json", "--store", db]) == EXIT_OK
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["state"] == "pending"
+        fp = doc["fingerprint"]
+        assert main(["worker", "--store", db, "--idle-exit", "0",
+                     "--poll", "0.01", "--json"]) == EXIT_OK
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["executed"] == 1
+        assert main(["job", "status", fp, "--store", db,
+                     "--json"]) == EXIT_OK
+        assert json.loads(capsys.readouterr().out)["state"] == "done"
+        assert main(["job", "result", fp, "--store", db,
+                     "--json"]) == EXIT_OK
+        record = json.loads(capsys.readouterr().out)
+        assert record["status"] == "ok"
+        # cancelling a finished job reports failure (exit 1)
+        assert main(["job", "cancel", fp,
+                     "--store", db]) == EXIT_FAILURE
+
+    def test_job_unknown_fingerprint_exit_1(self, tmp_path, capsys):
+        from repro.cli import EXIT_FAILURE, main
+
+        RunStore(tmp_path / "runs.db").counts()
+        assert main(["job", "status", "cell:" + "0" * 40, "--store",
+                     str(tmp_path / "runs.db")]) == EXIT_FAILURE
+
+
+# ------------------------------------------------------------------ #
+# the end-to-end drill: daemon + 2 worker processes + kill + cancel
+# ------------------------------------------------------------------ #
+
+_DOOMED_WORKER = """
+import sys
+from repro.store.db import RunStore
+store = RunStore(sys.argv[1], lease_seconds=1.0, worker_id="doomed:1")
+row = store.claim_next()
+print(row.fingerprint, flush=True)
+import time; time.sleep(120)
+"""
+
+
+class TestEndToEndService:
+    def test_fleet_drains_grid_bit_identical(self, tmp_path):
+        db = tmp_path / "runs.db"
+        RunStore(db).counts()
+        server = build_server(db, port=0, quiet=True)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + \
+            env.get("PYTHONPATH", "")
+
+        try:
+            # 20 cells, mixed priorities, submitted over HTTP.
+            specs = []
+            for i, (devices, batches) in enumerate(
+                    [(d, b) for d in (1, 2, 4, 8)
+                     for b in (None, 2, 3, 4, 5)]):
+                specs.append(dict(devices=devices, batches=batches,
+                                  seed=100 + i))
+            fps = [api.submit("ld_gpu", DATASET, **spec,
+                              priority=i % 3,
+                              client=f"client-{i % 2}", store=url)
+                   for i, spec in enumerate(specs)]
+            assert len(set(fps)) == 20
+            # plus one low-priority victim for the cancellation
+            fp_cancel = api.submit("ld_gpu", DATASET, devices=2,
+                                   seed=999, priority=-50, store=url)
+
+            # a worker claims a cell and dies without releasing it
+            doomed = subprocess.Popen(
+                [sys.executable, "-c", _DOOMED_WORKER, str(db)],
+                stdout=subprocess.PIPE, env=env, text=True)
+            fp_doomed = doomed.stdout.readline().strip()
+            assert fp_doomed in fps
+            os.kill(doomed.pid, signal.SIGKILL)
+            doomed.wait()
+            assert RunStore(db).get(fp_doomed).status == "leased"
+
+            # two independent worker processes drain the store
+            cmd = [sys.executable, "-m", "repro.cli", "worker",
+                   "--store", str(db), "--idle-exit", "3",
+                   "--poll", "0.05", "--json"]
+            workers = [subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                        env=env, text=True)
+                       for _ in range(2)]
+            # the cancellation lands while the fleet drains (workers
+            # spend their first ~second importing; the victim sits at
+            # the very back of the priority queue)
+            assert api.cancel(fp_cancel, store=url) is True
+
+            summaries = []
+            for w in workers:
+                out, _ = w.communicate(timeout=120)
+                assert w.returncode == 0, out
+                summaries.append(json.loads(out))
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        # every worker did real work; together they ran all 20 cells
+        executed = [s["executed"] for s in summaries]
+        assert all(n >= 1 for n in executed)
+        assert sum(executed) == 20
+        # the killed worker's lease was reclaimed, not lost
+        assert sum(s["stale_reclaims"] for s in summaries) == 1
+        doomed_row = RunStore(db).get(fp_doomed)
+        assert doomed_row.status == "done"
+        assert doomed_row.attempts == 2
+
+        # lifecycle accounting: 20 done, the victim cancelled, no
+        # leaked leases
+        store = RunStore(db)
+        counts = store.counts()
+        assert counts["done"] == 20
+        assert counts["leased"] == 0
+        assert counts["error"] == 0
+        assert store.get(fp_cancel).state == "cancelled"
+        from repro.harness.shm import list_orphan_segments
+
+        assert list_orphan_segments() == []
+
+        # every fleet record is bit-identical to the same cell run
+        # through serial run_cells in this process
+        from repro.api import _build_cell
+
+        for fp, spec in zip(fps, specs):
+            fleet = api.result(fp, store=db)
+            assert fleet is not None and fleet.ok
+            mc, _g = _build_cell("ld_gpu", DATASET, **spec)
+            serial = run_cells([mc.cell])[0]
+            assert _canon(fleet) == _canon(serial)
