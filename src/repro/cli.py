@@ -165,6 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "(simulator-backed algorithms)")
     runp.add_argument("--trace", metavar="PATH", default=None,
                       help="write a chrome://tracing JSON of the run")
+    runp.add_argument("--shards", type=int, default=None, metavar="K",
+                      help="coreset algorithms only: partition edges "
+                           "across K shards (default 4)")
+    runp.add_argument("--parallel", type=int, default=0, metavar="N",
+                      help="coreset algorithms only: execute shard "
+                           "cells in N worker processes "
+                           "(bit-identical to serial)")
 
     sweepp = sub.add_parser(
         "sweep", parents=[common],
@@ -507,12 +514,27 @@ def _cmd_run(parser: argparse.ArgumentParser,
              args: argparse.Namespace) -> int:
     devices = _single(parser, args.devices, "--devices", 1)
     batches = _single(parser, args.batches, "--batches", None)
-    if args.pointing_engine is not None:
-        from repro.engine import get_spec
+    from repro.engine import get_spec
 
-        if not get_spec(args.algorithm).accepts_pointing_engine:
-            parser.error(f"--pointing-engine does not apply to "
-                         f"algorithm '{args.algorithm}'")
+    spec = get_spec(args.algorithm)
+    if args.pointing_engine is not None and \
+            not spec.accepts_pointing_engine:
+        parser.error(f"--pointing-engine does not apply to "
+                     f"algorithm '{args.algorithm}'")
+    overrides = None
+    if "coreset" in spec.tags and "internal" not in spec.tags:
+        # The coordinator passes the dataset ref down to its shard
+        # cells so they are store-resumable / fleet-claimable.
+        overrides = {"dataset": args.dataset, "quality": args.quality}
+        if args.shards is not None:
+            if args.shards < 1:
+                parser.error("--shards must be >= 1")
+            overrides["num_shards"] = args.shards
+        if args.parallel:
+            overrides["shard_parallel"] = args.parallel
+    elif args.shards is not None or args.parallel:
+        parser.error("--shards/--parallel apply only to coreset "
+                     "algorithms (coreset_greedy, coreset_ld)")
     g = quality_instance(args.dataset) if args.quality \
         else load_dataset(args.dataset)
     sinks: list = []
@@ -532,7 +554,8 @@ def _cmd_run(parser: argparse.ArgumentParser,
         args.algorithm, args.dataset, quality=args.quality,
         platform=args.platform, devices=devices, batches=batches,
         pointing_engine=args.pointing_engine, seed=args.seed,
-        sinks=tuple(sinks), store=_store_from(args))
+        overrides=overrides, sinks=tuple(sinks),
+        store=_store_from(args))
     fmt = None
     if metrics_sink is not None and \
             metrics_sink.last_snapshot is not None:
@@ -555,6 +578,10 @@ def _cmd_run(parser: argparse.ArgumentParser,
             bits.append(f"sim_time={record.sim_time:.4g}s")
         print(f"{record.algorithm} (served from store): "
               + ", ".join(bits))
+    if record.extra.get("peak_shard_edges") is not None:
+        print(f"coreset: shards={len(record.extra['shard_edges'])}, "
+              f"peak_shard_edges={record.extra['peak_shard_edges']}, "
+              f"merge_edges={record.extra['merge_edges']}")
     totals = record.timeline_totals
     if totals:
         if args.profile and result is not None:

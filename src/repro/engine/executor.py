@@ -117,6 +117,14 @@ def execute(
         val = result.stats.get(key)
         if val is not None:
             extra[key] = _coerce(val)
+    # Spec-declared stats passthrough: algorithms whose *output* lives
+    # in stats (coreset shard edge lists, per-shard memory peaks, ...)
+    # declare the keys on their AlgorithmSpec so store-served records —
+    # which carry no in-memory MatchResult — stay fully usable.
+    for key in spec.record_stats:
+        val = result.stats.get(key)
+        if val is not None:
+            extra[key] = _coerce(val)
     config = _normalise_config(result)
     if config is not None:
         extra["config"] = config

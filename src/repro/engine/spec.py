@@ -73,6 +73,13 @@ class AlgorithmSpec:
         :func:`~repro.engine.cells.run_cells` may dispatch it to worker
         processes.  Mark ``False`` for algorithms that mutate shared
         state (e.g. incremental matchers wrapping a live object).
+    record_stats:
+        Names of ``result.stats`` entries the executor copies into
+        ``RunRecord.extra`` (JSON-coerced).  This is how an algorithm's
+        *deterministic output payload* survives the run store — a
+        store-served record has ``result=None``, so anything a
+        downstream consumer needs (e.g. a shard's coreset edge list)
+        must be declared here.  Keys absent from ``stats`` are skipped.
     tags:
         Extra free-form capability tags.
     """
@@ -91,6 +98,7 @@ class AlgorithmSpec:
     exact: bool = False
     approx_ratio: str | None = None
     parallel_safe: bool = True
+    record_stats: tuple[str, ...] = ()
     tags: tuple[str, ...] = ()
 
     @property

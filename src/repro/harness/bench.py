@@ -137,6 +137,13 @@ def tie_path_3000():
                     name="tie-path-3000")
 
 
+def _coreset_overrides(dataset: str, shards: int) -> dict[str, Any]:
+    """Coreset workload kwargs: fixed partition seed + the dataset ref
+    the coordinator hands down so shard cells stay store-resumable."""
+    return {"num_shards": shards, "seed": 1,
+            "dataset": dataset, "quality": True}
+
+
 #: Benchmark suites.  ``smoke`` runs on the tiny blossom-tractable
 #: quality instances so the whole suite (x repeats) costs seconds —
 #: small enough for a per-push CI gate while still crossing every
@@ -212,6 +219,33 @@ SUITES: dict[str, tuple[Workload, ...]] = {
                  build=tie_clique_300, quality=False,
                  config={"num_devices": 2, "num_batches": 2},
                  overrides={"engine": "segment"}),
+    ),
+    # Shards x graph scale on the blossom-tractable quality instances,
+    # with exact blossom references on the same graphs so run_bench can
+    # attach approx_ratio_vs_blossom to every coreset entry.  The seed
+    # rides in overrides (not ctx config) so every replicate partitions
+    # identically.  Gated: peak_shard_edges may not grow (the MPC
+    # memory-per-machine budget) and the ratio may not shrink beyond
+    # tolerance.
+    "coreset": (
+        Workload("blossom-GAP-kron", "blossom", "GAP-kron"),
+        Workload("blossom-mouse_gene", "blossom", "mouse_gene"),
+        Workload("coreset_greedy-GAP-kron-2", "coreset_greedy",
+                 "GAP-kron",
+                 overrides=_coreset_overrides("GAP-kron", 2)),
+        Workload("coreset_greedy-GAP-kron-4", "coreset_greedy",
+                 "GAP-kron",
+                 overrides=_coreset_overrides("GAP-kron", 4)),
+        Workload("coreset_greedy-GAP-kron-8", "coreset_greedy",
+                 "GAP-kron",
+                 overrides=_coreset_overrides("GAP-kron", 8)),
+        Workload("coreset_ld-GAP-kron-4", "coreset_ld", "GAP-kron",
+                 overrides=_coreset_overrides("GAP-kron", 4)),
+        Workload("coreset_greedy-mouse_gene-4", "coreset_greedy",
+                 "mouse_gene",
+                 overrides=_coreset_overrides("mouse_gene", 4)),
+        Workload("coreset_ld-mouse_gene-8", "coreset_ld", "mouse_gene",
+                 overrides=_coreset_overrides("mouse_gene", 8)),
     ),
 }
 
@@ -334,11 +368,34 @@ def run_bench(
                 [(r.extra or {}).get("host_entries_scanned")
                  for r in ok]),
         }
+        # Coreset memory discipline: the shard/merge footprints are
+        # deterministic functions of (graph, seed, k), gated like
+        # sim_time wherever the baseline recorded them.
+        if ok and (ok[0].extra or {}).get("peak_shard_edges") \
+                is not None:
+            entry["peak_shard_edges"] = ok[0].extra["peak_shard_edges"]
+            entry["merge_edges"] = ok[0].extra.get("merge_edges")
         if entry["status"] == "error":
             bad = next(r for r in group if not r.ok)
             entry["error"] = {"type": bad.error["type"],
                               "message": bad.error["message"]}
         entries.append(entry)
+
+    if suite == "coreset":
+        # Pair every coreset entry with the exact blossom reference on
+        # the same dataset: the ratio is the paper-facing quality claim
+        # (>= 3/8 guaranteed, ~0.8 observed) and is gated against
+        # decreases.
+        exact = {e["dataset"]: e["weight"] for e in entries
+                 if e["algorithm"] == "blossom"
+                 and e["status"] == "ok"}
+        for e in entries:
+            if "peak_shard_edges" not in e:
+                continue
+            ref = exact.get(e["dataset"])
+            e["approx_ratio_vs_blossom"] = (
+                e["weight"] / ref
+                if ref and e["status"] == "ok" else None)
 
     from repro.harness.cache import cache_disabled, default_cache_root
     from repro.telemetry.provenance import build_manifest
@@ -420,10 +477,11 @@ def compare_reports(
     """Regressions of ``current`` against ``baseline``.
 
     Returns human-readable problem strings (empty list = gate passes):
-    a workload whose gated metric (``median_sim_time_s``, or
-    ``host_entries_scanned`` where the baseline recorded one) exceeds
-    the baseline by more than ``tolerance`` (relative), went from ok to
-    error, or disappeared.  Faster-than-baseline and wall-clock changes
+    a workload whose gated metric (``median_sim_time_s``,
+    ``host_entries_scanned``, ``peak_shard_edges`` up, or
+    ``approx_ratio_vs_blossom`` down — each only where the baseline
+    recorded one) moves beyond the baseline by more than ``tolerance``
+    (relative), went from ok to error, or disappeared.  Faster-than-baseline and wall-clock changes
     never fail the gate; new workloads without a baseline entry are
     reported as advisory ``"new workload"`` lines only when the
     baseline suite matches.  When the baseline carries a ``staging``
@@ -463,6 +521,23 @@ def compare_reports(
             problems.append(
                 f"{name}: host_entries_scanned {ch:.6g} exceeds "
                 f"baseline {bh:.6g} by more than "
+                f"{100 * tolerance:.1f}%")
+        # Coreset gates: the per-machine memory budget may not grow,
+        # the quality ratio may not shrink (both deterministic).
+        bp = b.get("peak_shard_edges")
+        cp = c.get("peak_shard_edges")
+        if bp is not None and cp is not None \
+                and cp > bp * (1.0 + tolerance):
+            problems.append(
+                f"{name}: peak_shard_edges {cp:.6g} exceeds baseline "
+                f"{bp:.6g} by more than {100 * tolerance:.1f}%")
+        br = b.get("approx_ratio_vs_blossom")
+        cr = c.get("approx_ratio_vs_blossom")
+        if br is not None and cr is not None \
+                and cr < br * (1.0 - tolerance):
+            problems.append(
+                f"{name}: approx_ratio_vs_blossom {cr:.4g} fell below "
+                f"baseline {br:.4g} by more than "
                 f"{100 * tolerance:.1f}%")
     b_staging = baseline.get("staging")
     c_staging = current.get("staging") if b_staging else None

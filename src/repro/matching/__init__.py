@@ -42,6 +42,14 @@ from repro.matching.augmenting import (
     two_thirds_matching,
     random_augmentation_matching,
 )
+from repro.matching.coreset import (
+    coreset_greedy,
+    coreset_ld,
+    coreset_matching,
+    coreset_shard,
+    extract_shard,
+    shard_assignments,
+)
 from repro.matching.dynamic import DynamicMatcher
 from repro.matching.b_matching import (
     BMatchResult,
@@ -74,6 +82,12 @@ __all__ = [
     "path_growing_matching",
     "two_thirds_matching",
     "random_augmentation_matching",
+    "coreset_greedy",
+    "coreset_ld",
+    "coreset_matching",
+    "coreset_shard",
+    "extract_shard",
+    "shard_assignments",
     "BMatchResult",
     "b_suitor",
     "greedy_b_matching",

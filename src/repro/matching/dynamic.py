@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.graph.builders import from_coo
 from repro.graph.csr import CSRGraph
+from repro.graph.transform import edge_subgraph
 from repro.matching.ld_seq import ld_seq
 from repro.matching.types import UNMATCHED
 from repro.matching.validate import matching_weight
@@ -34,8 +35,17 @@ __all__ = ["DynamicMatcher"]
 class DynamicMatcher:
     """Maintain a maximal matching over an edge-mutable graph.
 
-    The graph is held as a dict-of-dicts adjacency (mutation-friendly);
-    :meth:`to_graph` materialises the CSR snapshot.
+    The graph is held two ways, kept in sync by every update:
+
+    * a dict-of-dicts adjacency — mutation-friendly, drives the O(deg)
+      local repairs;
+    * a *base + overlay* snapshot plan — the CSR the matcher started
+      from (``_base``), a liveness mask over its undirected edges, and a
+      small dict of edges added or re-weighted since.  :meth:`to_graph`
+      turns that into a CSR via
+      :func:`~repro.graph.transform.edge_subgraph` (pure deletions) or
+      a vectorised masked-base + overlay rebuild — never the per-edge
+      Python loop this class used to run.
     """
 
     def __init__(self, graph: CSRGraph | None = None,
@@ -53,7 +63,22 @@ class DynamicMatcher:
             self._n = int(num_vertices or 0)
             self._adj = [dict() for _ in range(self._n)]
             self.mate = np.full(self._n, UNMATCHED, dtype=np.int64)
+        self._rebase(graph)
         self.updates = 0
+
+    def _rebase(self, graph: CSRGraph | None) -> None:
+        """Reset the snapshot plan: ``graph`` becomes the base, the
+        overlay empties."""
+        self._base = graph if graph is not None \
+            else CSRGraph.empty(self._n)
+        bu, bv, bw = self._base.edge_array()
+        self._base_uvw = (bu, bv, bw)
+        self._base_live = np.ones(len(bu), dtype=bool)
+        self._base_index = {
+            (int(a), int(b)): k
+            for k, (a, b) in enumerate(zip(bu.tolist(), bv.tolist()))
+        }
+        self._extra: dict[tuple[int, int], float] = {}
 
     # -------------------------------------------------------------- #
     @property
@@ -75,17 +100,30 @@ class DynamicMatcher:
         return total
 
     def to_graph(self, name: str = "dynamic") -> CSRGraph:
-        """CSR snapshot of the current graph."""
-        us, vs, ws = [], [], []
-        for v in range(self._n):
-            for u, w in self._adj[v].items():
-                if v < u:
-                    us.append(v)
-                    vs.append(u)
-                    ws.append(w)
-        return from_coo(np.array(us, dtype=np.int64),
-                        np.array(vs, dtype=np.int64),
-                        np.array(ws, dtype=np.float64),
+        """CSR snapshot of the current graph.
+
+        Pure deletions reduce to one :func:`edge_subgraph` extraction of
+        the base (vertex set unchanged, overlay empty); otherwise the
+        live base edges and the overlay are merged vectorised through
+        :func:`from_coo`.
+        """
+        if not self._extra and self._n == self._base.num_vertices:
+            sub, _ = edge_subgraph(self._base, self._base_live,
+                                   name=name)
+            return sub
+        bu, bv, bw = self._base_uvw
+        live = self._base_live
+        if self._extra:
+            keys = np.array(sorted(self._extra), dtype=np.int64)
+            eu, ev = keys[:, 0], keys[:, 1]
+            ew = np.array([self._extra[(int(a), int(b))]
+                           for a, b in keys], dtype=np.float64)
+        else:
+            eu = ev = np.empty(0, dtype=np.int64)
+            ew = np.empty(0, dtype=np.float64)
+        return from_coo(np.concatenate([bu[live], eu]),
+                        np.concatenate([bv[live], ev]),
+                        np.concatenate([bw[live], ew]),
                         num_vertices=self._n, name=name)
 
     # -------------------------------------------------------------- #
@@ -130,6 +168,15 @@ class DynamicMatcher:
         self._ensure_vertex(max(u, v))
         self._adj[u][v] = w
         self._adj[v][u] = w
+        lo, hi = (u, v) if u < v else (v, u)
+        k = self._base_index.get((lo, hi))
+        if k is not None and self._base_live[k] and \
+                float(self._base_uvw[2][k]) == w:
+            pass  # identical to the live base edge — nothing to overlay
+        else:
+            if k is not None:
+                self._base_live[k] = False
+            self._extra[(lo, hi)] = w
         self.updates += 1
 
         if self.mate[u] == v:
@@ -154,6 +201,11 @@ class DynamicMatcher:
             raise KeyError(f"edge ({u}, {v}) not present")
         del self._adj[u][v]
         del self._adj[v][u]
+        lo, hi = (u, v) if u < v else (v, u)
+        if (lo, hi) in self._extra:
+            del self._extra[(lo, hi)]
+        else:
+            self._base_live[self._base_index[(lo, hi)]] = False
         self.updates += 1
         if self.mate[u] == v:
             self._unmatch(u)
@@ -161,9 +213,16 @@ class DynamicMatcher:
             self._greedy_match(v)
 
     def rebuild(self) -> None:
-        """Re-run LD matching from scratch (the periodic drift reset)."""
-        result = ld_seq(self.to_graph(), collect_stats=False)
+        """Re-run LD matching from scratch (the periodic drift reset).
+
+        Also re-bases the snapshot plan: the rebuilt CSR becomes the new
+        ``_base``, so a long mutation history collapses back to a clean
+        mask + empty overlay.
+        """
+        snapshot = self.to_graph()
+        result = ld_seq(snapshot, collect_stats=False)
         self.mate = result.mate.copy()
+        self._rebase(snapshot)
         self.updates = 0
 
     # -------------------------------------------------------------- #

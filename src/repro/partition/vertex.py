@@ -9,12 +9,17 @@ prefix sums available, the edge-balanced split is a ``searchsorted`` over
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any
+
 import numpy as np
 
 __all__ = [
     "edge_balanced_partition",
     "vertex_balanced_partition",
     "partition_edge_counts",
+    "PartitionSummary",
+    "partition_summary",
 ]
 
 
@@ -62,5 +67,80 @@ def vertex_balanced_partition(num_vertices: int,
 
 def partition_edge_counts(indptr: np.ndarray,
                           offsets: np.ndarray) -> np.ndarray:
-    """Incident (directed) edge count of each part."""
-    return np.diff(indptr[offsets])
+    """Incident (directed) edge count of each part.
+
+    ``offsets`` may cover vertices past the end of ``indptr`` when the
+    CSR was truncated after its last non-empty row (a trailing empty
+    vertex range): entries up to the nominal vertex count index one past
+    ``indptr``'s final slot and used to raise ``IndexError``.  Those
+    vertices have no incident edges, so the cumulative count saturates
+    at ``indptr[-1]`` — the clamp makes that defined behaviour instead
+    of an off-by-one crash.  Offsets must be non-decreasing and
+    non-negative; anything else is a caller bug and raises.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if len(offsets) == 0:
+        return np.empty(0, dtype=np.int64)
+    if offsets[0] < 0:
+        raise ValueError("partition offsets must be non-negative")
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("partition offsets must be non-decreasing")
+    last = len(indptr) - 1
+    return np.diff(indptr[np.minimum(offsets, last)])
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """Balance statistics of one contiguous vertex partition.
+
+    The quantity the paper tunes (§III-A) and the coreset sharder
+    budgets against: how evenly incident edges spread across parts.
+    ``imbalance`` is ``max / mean`` of the per-part counts (1.0 =
+    perfect; the conventional partitioning-literature metric), 0.0 for
+    an edgeless graph.
+    """
+
+    num_parts: int
+    num_vertices: int
+    total_edges: int
+    min_edges: int
+    max_edges: int
+    mean_edges: float
+    imbalance: float
+    empty_parts: int
+    counts: tuple[int, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form for stats / telemetry payloads."""
+        return {
+            "num_parts": self.num_parts,
+            "num_vertices": self.num_vertices,
+            "total_edges": self.total_edges,
+            "min_edges": self.min_edges,
+            "max_edges": self.max_edges,
+            "mean_edges": self.mean_edges,
+            "imbalance": self.imbalance,
+            "empty_parts": self.empty_parts,
+            "counts": list(self.counts),
+        }
+
+
+def partition_summary(indptr: np.ndarray,
+                      offsets: np.ndarray) -> PartitionSummary:
+    """Summarise a partition's edge balance (see
+    :class:`PartitionSummary`)."""
+    counts = partition_edge_counts(indptr, offsets)
+    k = len(counts)
+    total = int(counts.sum()) if k else 0
+    mean = total / k if k else 0.0
+    return PartitionSummary(
+        num_parts=k,
+        num_vertices=int(offsets[-1]) if len(offsets) else 0,
+        total_edges=total,
+        min_edges=int(counts.min()) if k else 0,
+        max_edges=int(counts.max()) if k else 0,
+        mean_edges=mean,
+        imbalance=float(counts.max() / mean) if k and mean > 0 else 0.0,
+        empty_parts=int(np.count_nonzero(counts == 0)),
+        counts=tuple(int(c) for c in counts),
+    )

@@ -217,3 +217,79 @@ class TestDynamicMatcher:
                           float(np.round(rng.random() + 0.001, 3)))
         d = dm.drift()
         assert 0.5 <= d <= 1.0 + 1e-9  # half bound holds empirically
+
+
+class TestDynamicSnapshot:
+    """The base+overlay snapshot plan must always agree with the
+    dict-of-dicts adjacency (the repair-path source of truth)."""
+
+    @staticmethod
+    def _adj_edges(dm):
+        return {(v, u): w for v in range(dm.num_vertices)
+                for u, w in dm._adj[v].items() if v < u}
+
+    @staticmethod
+    def _snap_edges(g):
+        u, v, w = g.edge_array()
+        return {(int(a), int(b)): float(c)
+                for a, b, c in zip(u, v, w)}
+
+    def test_pure_deletions_use_edge_subgraph_path(self, medium_graph):
+        dm = DynamicMatcher(medium_graph)
+        u, v, _ = medium_graph.edge_array()
+        for k in range(0, len(u), 7):
+            dm.delete(int(u[k]), int(v[k]))
+        snap = dm.to_graph()
+        assert snap.num_vertices == medium_graph.num_vertices
+        assert self._snap_edges(snap) == self._adj_edges(dm)
+        snap.validate()
+
+    def test_mixed_mutations_snapshot(self, medium_graph):
+        dm = DynamicMatcher(medium_graph)
+        u, v, w = medium_graph.edge_array()
+        dm.delete(int(u[0]), int(v[0]))
+        dm.insert(int(u[1]), int(v[1]), float(w[1]) + 1.0)  # re-weight
+        dm.insert(int(u[0]), int(v[0]), float(w[0]))  # re-insert
+        big = medium_graph.num_vertices + 3  # grow the vertex set
+        dm.insert(0, big, 0.5)
+        snap = dm.to_graph()
+        assert snap.num_vertices == big + 1
+        assert self._snap_edges(snap) == self._adj_edges(dm)
+        snap.validate()
+
+    def test_noop_reinsert_stays_on_fast_path(self, medium_graph):
+        dm = DynamicMatcher(medium_graph)
+        u, v, w = medium_graph.edge_array()
+        dm.insert(int(u[2]), int(v[2]), float(w[2]))  # identical edge
+        assert not dm._extra
+        assert self._snap_edges(dm.to_graph()) == self._adj_edges(dm)
+
+    def test_rebuild_rebases(self, medium_graph):
+        dm = DynamicMatcher(medium_graph)
+        u, v, _ = medium_graph.edge_array()
+        dm.delete(int(u[0]), int(v[0]))
+        dm.insert(0, medium_graph.num_vertices + 1, 2.0)
+        dm.rebuild()
+        assert not dm._extra
+        assert bool(dm._base_live.all())
+        assert self._snap_edges(dm.to_graph()) == self._adj_edges(dm)
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9),
+                              st.floats(0.01, 1.0)),
+                    min_size=1, max_size=30), st.data())
+    def test_snapshot_equivalence_property(self, inserts, data):
+        dm = DynamicMatcher(build_graph(10, [(0, 1, 1.0), (2, 3, 0.5),
+                                             (4, 5, 0.25)]))
+        live = {(0, 1), (2, 3), (4, 5)}
+        for a, b, w in inserts:
+            if a == b:
+                continue
+            dm.insert(a, b, w)
+            live.add((min(a, b), max(a, b)))
+            if live and data.draw(st.booleans()):
+                pair = data.draw(st.sampled_from(sorted(live)))
+                dm.delete(*pair)
+                live.discard(pair)
+        snap = dm.to_graph()
+        assert self._snap_edges(snap) == self._adj_edges(dm)
+        snap.validate()

@@ -42,6 +42,7 @@ class TestRegistry:
             "ld_seq", "ld_gpu", "sr_omp", "sr_gpu", "suitor_seq",
             "greedy", "local_max", "auction", "blossom", "cugraph",
             "path_growing", "two_thirds", "pettie_sanders",
+            "coreset_greedy", "coreset_ld", "coreset_shard",
         }
 
     def test_algorithms_view_tracks_registry(self):
