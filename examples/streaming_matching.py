@@ -1,66 +1,117 @@
 #!/usr/bin/env python
-"""Application: matching a streaming graph.
+"""Application: matching a streaming graph, two ways.
 
-Online marketplaces, ride matching and interconnect schedulers see their
-graphs as *streams* of edge events. `DynamicMatcher` maintains a valid,
-maximal matching across inserts/deletes with O(degree) local repairs;
-this example feeds it a mixed stream, tracks quality drift against
-from-scratch LD rebuilds, and shows the periodic-rebuild pattern.
+Online marketplaces, ride matching and interconnect schedulers see
+their graphs as *streams* of edge events.  This example replays one
+seeded :class:`~repro.streaming.events.EdgeStream` into both dynamic
+matchers the repo ships and reports them side by side:
+
+* :class:`~repro.streaming.engine.IncrementalLD` — the batch-dynamic
+  engine: after every batch it repairs the matching locally from the
+  affected frontier and lands *exactly* on the LD fixed point of the
+  mutated graph (bit-identical to a from-scratch
+  :func:`~repro.matching.ld_seq.ld_seq`), so its quality column is
+  100% by construction;
+* :class:`~repro.matching.dynamic.DynamicMatcher` — the greedy
+  O(degree) repair heuristic whose quality drifts, managed with the
+  periodic-rebuild pattern.
+
+The comparison is what the table shows: exactness costs a frontier of
+repair work per batch (the "affected" / "host entries" columns),
+greedy repair costs quality drift between rebuilds.
 
 Run:  python examples/streaming_matching.py
 """
 
+import time
+
 import numpy as np
 
+from repro.graph.generators.uniform import uniform_random_graph
 from repro.harness.report import format_table
 from repro.matching.dynamic import DynamicMatcher
+from repro.matching.ld_seq import ld_seq
+from repro.streaming import EdgeStream, IncrementalLD
 
 NUM_VERTICES = 400
-STREAM_LENGTH = 4000
-CHECK_EVERY = 500
+NUM_EDGES = 1600
+NUM_BATCHES = 24
+BATCH_SIZE = 25
+REBUILD_EVERY = 8  # DynamicMatcher rebuilds every K batches
+SEED = 17
 
 
 def main() -> None:
-    rng = np.random.default_rng(17)
-    dm = DynamicMatcher(num_vertices=NUM_VERTICES)
-    live_edges: list[tuple[int, int]] = []
+    base = uniform_random_graph(NUM_VERTICES, NUM_EDGES, seed=SEED,
+                                name="stream-base")
+    stream = EdgeStream.generate(base, num_batches=NUM_BATCHES,
+                                 batch_size=BATCH_SIZE, seed=SEED)
+
+    inc = IncrementalLD(base)
+    dm = DynamicMatcher(base)
+    inc_time = dm_time = 0.0
 
     rows = []
-    for step in range(1, STREAM_LENGTH + 1):
-        # 85% inserts, 15% deletes of a random live edge
-        if live_edges and rng.random() < 0.15:
-            k = int(rng.integers(0, len(live_edges)))
-            a, b = live_edges.pop(k)
-            if b in dm._adj[a]:
-                dm.delete(a, b)
-        else:
-            a, b = rng.integers(0, NUM_VERTICES, 2)
-            if a == b:
-                continue
-            w = float(np.round(rng.random() * 0.999 + 0.001, 3))
-            dm.insert(int(a), int(b), w)
-            live_edges.append((int(a), int(b)))
+    for i, batch in enumerate(stream, start=1):
+        result = inc.apply(batch)
+        inc_time += result.latency_s
 
-        if step % CHECK_EVERY == 0:
-            rows.append([
-                step, dm.num_edges, dm.weight,
-                100.0 * dm.drift(),
-            ])
+        t0 = time.perf_counter()
+        for kind, u, v, w in batch.ops:
+            if kind == "delete":
+                dm.delete(u, v)
+            else:  # DynamicMatcher's insert is an upsert
+                dm.insert(u, v, w)
+        if i % REBUILD_EVERY == 0:
+            dm.rebuild()
+        dm_time += time.perf_counter() - t0
+
+        exact = result.weight  # == the from-scratch LD weight
+        rows.append([
+            i, inc.graph.num_edges,
+            result.affected_vertices, result.host_entries_scanned,
+            exact, dm.weight,
+            100.0 * dm.weight / exact if exact else 100.0,
+        ])
 
     print(format_table(
-        ["stream step", "live edges", "matching weight",
-         "% of rebuilt weight"],
+        ["batch", "live edges", "affected", "host entries",
+         "incremental LD weight", "greedy weight", "greedy %"],
         rows, floatfmt=".2f",
-        title=f"Dynamic matching over a {STREAM_LENGTH}-event stream "
-              f"({NUM_VERTICES} vertices)",
+        title=f"IncrementalLD vs periodic-rebuild DynamicMatcher — "
+              f"{stream.num_ops} ops in {NUM_BATCHES} batches "
+              f"({NUM_VERTICES} vertices, rebuild every "
+              f"{REBUILD_EVERY})",
     ))
 
-    worst = min(r[3] for r in rows)
-    print(f"\nworst drift observed: {worst:.1f}% of the from-scratch "
-          f"LD weight — local repairs hold quality close, and a "
-          f"periodic rebuild() resets the gap entirely.")
-    dm.rebuild()
-    print(f"after rebuild: {100.0 * dm.drift():.1f}%")
+    # Both matchers saw the same ops, so their public read surfaces
+    # must agree edge for edge — no reaching into private state.
+    iu, iv, iw = inc.graph.edges()
+    du, dv, dw = dm.edges()
+    assert np.array_equal(iu, du) and np.array_equal(iv, dv) \
+        and np.allclose(iw, dw)
+    assert all(dm.has_edge(int(a), int(b)) for a, b in
+               zip(iu[:50], iv[:50]))
+    print(f"\nboth matchers agree on the mutated graph: "
+          f"{dm.num_edges} edges (checked via the public "
+          f"has_edge/edges surface)")
+
+    # The incremental engine's exactness claim, checked the hard way.
+    oracle = ld_seq(inc.snapshot(), collect_stats=False)
+    identical = bool(np.array_equal(inc.mate, oracle.mate))
+    print(f"incremental mate array bit-identical to from-scratch "
+          f"ld_seq: {identical}")
+    assert identical
+
+    worst = min(r[6] for r in rows)
+    print(f"worst greedy drift observed: {worst:.1f}% of the exact LD "
+          f"weight (rebuilds reset the gap; between them the O(degree) "
+          f"repairs drift — occasionally they even beat LD, since "
+          f"both are 1/2-approximations of the true optimum)")
+    print(f"update time over the stream: incremental repair "
+          f"{1e3 * inc_time:.1f} ms vs greedy+rebuild "
+          f"{1e3 * dm_time:.1f} ms — only the former is exact LD "
+          f"after every batch")
 
 
 if __name__ == "__main__":

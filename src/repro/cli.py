@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Fourteen subcommands::
+Fifteen subcommands::
 
     repro-matching run --algorithm ld_gpu --dataset GAP-kron --devices 4
     repro-matching sweep --dataset GAP-kron --devices 1 2 4 8 --parallel 4
+    repro-matching stream --dataset mouse_gene --engine incremental
     repro-matching bench --suite smoke --baseline benchmarks/baseline_smoke.json
     repro-matching experiment table1 [--quick] [--parallel N]
     repro-matching stats record.json
@@ -30,6 +31,10 @@ convention).
 (through :func:`repro.api.run`); ``sweep`` maps an LD-GPU
 configuration grid through :func:`repro.api.sweep` (``--parallel N``
 fans it out over worker processes, bit-identical to serial);
+``stream`` drives the batch-dynamic plane (:mod:`repro.streaming`):
+seeded or event-log-fed update batches through the incremental-repair
+or from-scratch-recompute engine, verified against ``ld_seq`` on the
+mutated graph unless ``--no-verify``;
 ``bench`` runs a fixed workload suite, writes ``BENCH_<suite>.json``
 and gates against a committed baseline; ``experiment`` regenerates a
 paper table/figure; ``stats`` prints the paper-claim metrics of a
@@ -182,6 +187,45 @@ def build_parser() -> argparse.ArgumentParser:
     sweepp.add_argument("--parallel", type=int, default=0, metavar="N",
                         help="fan the grid out to N worker processes "
                              "(bit-identical to serial)")
+
+    from repro.streaming.engine import STREAM_ENGINES
+
+    streamp = sub.add_parser(
+        "stream", parents=[common],
+        help="stream update batches into a dataset and repair the "
+             "matching incrementally",
+    )
+    streamp.add_argument("--dataset", "-d", required=True,
+                         choices=sorted(DATASETS))
+    streamp.add_argument("--quality", action="store_true",
+                         help="stream against the dataset's tiny "
+                              "quality instance instead of the full "
+                              "analog")
+    streamp.add_argument("--num-batches", type=int, default=8,
+                         metavar="K", dest="num_batches",
+                         help="generated update batches (default 8; "
+                              "ignored with --events)")
+    streamp.add_argument("--batch-size", type=int, default=32,
+                         metavar="K", dest="batch_size",
+                         help="ops per generated batch (default 32; "
+                              "ignored with --events)")
+    streamp.add_argument("--engine", choices=STREAM_ENGINES,
+                         default="incremental", dest="stream_engine",
+                         help="'incremental' repairs locally from the "
+                              "affected frontier; 'recompute' reruns "
+                              "ld_seq from scratch per batch. "
+                              "Bit-identical matchings either way")
+    streamp.add_argument("--events", metavar="PATH", default=None,
+                         help="replay a recorded JSONL event log "
+                              "instead of generating a stream")
+    streamp.add_argument("--record", metavar="PATH", default=None,
+                         help="save the applied stream as a JSONL "
+                              "event log (replayable via --events)")
+    streamp.add_argument("--no-verify", action="store_true",
+                         dest="no_verify",
+                         help="skip the final bit-identity check "
+                              "against from-scratch ld_seq on the "
+                              "mutated graph")
 
     benchp = sub.add_parser(
         "bench", parents=[common],
@@ -653,6 +697,109 @@ def _cmd_sweep(parser: argparse.ArgumentParser,
     return EXIT_OK
 
 
+def _cmd_stream(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    _reject_flags(parser, args, "stream", platform="--platform",
+                  devices="--devices", batches="--batches",
+                  pointing_engine="--pointing-engine", store="--store")
+    import numpy as np
+
+    from repro.engine import RunContext, execute
+    from repro.matching.ld_seq import ld_seq
+    from repro.streaming import EdgeStream, make_engine
+
+    g = quality_instance(args.dataset) if args.quality \
+        else load_dataset(args.dataset)
+    if args.events is not None:
+        stream = EdgeStream.load(args.events)
+        if stream.num_vertices != g.num_vertices:
+            parser.error(
+                f"--events log is over {stream.num_vertices} vertices "
+                f"but '{args.dataset}' has {g.num_vertices}")
+    else:
+        stream = EdgeStream.generate(
+            g, num_batches=args.num_batches,
+            batch_size=args.batch_size,
+            seed=args.seed if args.seed is not None else 0)
+    if args.record:
+        stream.save(args.record)
+
+    sinks: list = []
+    metrics_sink = None
+    if args.metrics_out:
+        metrics_sink = MetricsSink()
+        sinks.append(metrics_sink)
+    ctx = RunContext(seed=stream.seed, dataset=args.dataset,
+                     sinks=tuple(sinks))
+    record = execute("dynamic_ld", g, ctx, events=stream,
+                     stream_engine=args.stream_engine,
+                     batch_size=args.batch_size)
+
+    verified = None
+    if not args.no_verify:
+        # Replay the structural mutations alone and re-match from
+        # scratch: the engine's mate array must be byte-for-byte the
+        # LD fixed point of the mutated graph.
+        oracle_eng = make_engine("recompute", g)
+        for batch in stream:
+            oracle_eng._apply_ops(batch)
+        oracle = ld_seq(oracle_eng.snapshot(), collect_stats=False)
+        verified = bool(np.array_equal(record.result.mate, oracle.mate))
+
+    fmt = None
+    if metrics_sink is not None and \
+            metrics_sink.last_snapshot is not None:
+        from repro.telemetry import write_metrics
+
+        fmt = write_metrics(args.metrics_out,
+                            metrics_sink.last_snapshot, record)
+    if args.json:
+        doc = record.to_dict()
+        if verified is not None:
+            doc["verified_vs_ld_seq"] = verified
+        print(json.dumps(doc, indent=1))
+        return EXIT_FAILURE if verified is False else EXIT_OK
+
+    print(f"{g!r}")
+    extra = record.extra
+    affected = extra.get("affected_per_batch") or []
+    host = extra.get("host_entries_per_batch") or []
+    latency = extra.get("update_latency_s") or []
+    rows = [[i, a, h, 1e3 * t]
+            for i, (a, h, t) in enumerate(zip(affected, host, latency))]
+    if rows:
+        print(format_table(
+            ["batch", "affected", "host entries", "latency (ms)"],
+            rows, floatfmt=".3f",
+            title=f"dynamic_ld ({extra.get('stream_engine')}) — "
+                  f"{extra.get('stream_ops')} ops in "
+                  f"{extra.get('stream_batches')} batches"))
+    modeled = extra.get("stream_recompute_entries_modeled")
+    total_host = extra.get("host_entries_scanned")
+    line = (f"final: weight={record.weight:.6g}, "
+            f"matched_edges={record.matched_edges}, "
+            f"repairs={extra.get('stream_repairs')}, "
+            f"affected_vertices={extra.get('affected_vertices')}")
+    print(line)
+    if total_host is not None and modeled:
+        print(f"host entries: {total_host} vs {modeled} modeled "
+              f"recompute floor "
+              f"({100.0 * total_host / modeled:.1f}%)")
+    if args.record:
+        print(f"event log written to {args.record}")
+    if fmt is not None:
+        print(f"metrics ({fmt}) written to {args.metrics_out}")
+    if verified is not None:
+        if not verified:
+            print("VERIFICATION FAILED: mate array differs from "
+                  "from-scratch ld_seq on the mutated graph",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        print("verified: mate array bit-identical to from-scratch "
+              "ld_seq on the mutated graph")
+    return EXIT_OK
+
+
 def _cmd_bench(parser: argparse.ArgumentParser,
                args: argparse.Namespace) -> int:
     _reject_flags(parser, args, "bench", platform="--platform",
@@ -753,7 +900,8 @@ def _cmd_stats(parser: argparse.ArgumentParser,
         doc["communication_fraction"] = comm / t if t else 0.0
     scanned = record.extra.get("edges_scanned")
     host_scanned = record.extra.get("host_entries_scanned")
-    if host_scanned is not None:
+    if host_scanned is not None and \
+            record.extra.get("pointing_engine") is not None:
         modeled = int(sum(scanned)) if scanned else None
         doc["pointing"] = {
             "engine": record.extra.get("pointing_engine"),
@@ -767,6 +915,25 @@ def _cmd_stats(parser: argparse.ArgumentParser,
             val = record.extra.get(key)
             if val is not None:
                 doc["pointing"][key] = int(val)
+    if record.extra.get("stream_batches") is not None:
+        modeled = record.extra.get("stream_recompute_entries_modeled")
+        host = record.extra.get("host_entries_scanned")
+        latencies = record.extra.get("update_latency_s") or []
+        doc["streaming"] = {
+            "engine": record.extra.get("stream_engine"),
+            "batches": int(record.extra["stream_batches"]),
+            "ops": record.extra.get("stream_ops"),
+            "repairs": record.extra.get("stream_repairs"),
+            "affected_vertices": record.extra.get("affected_vertices"),
+            "host_entries_scanned":
+                int(host) if host is not None else None,
+            "modeled_recompute_entries":
+                int(modeled) if modeled is not None else None,
+            "host_fraction_of_recompute":
+                host / modeled if host is not None and modeled else None,
+            "median_update_latency_s":
+                record.extra.get("median_update_latency_s"),
+        }
     if scanned and record.num_directed_edges:
         frac = edges_accessed_fraction(np.asarray(scanned),
                                        record.num_directed_edges)
@@ -831,6 +998,22 @@ def _cmd_stats(parser: argparse.ArgumentParser,
             line += (f" vs {pt['modeled_edges_scanned']} modeled "
                      f"({100.0 * pt['host_fraction_of_modeled']:.1f}%)")
         print(line)
+
+    if "streaming" in doc:
+        st_ = doc["streaming"]
+        print(f"streaming engine '{st_['engine']}': {st_['batches']} "
+              f"batches ({st_['ops']} ops), {st_['repairs']} repairs, "
+              f"{st_['affected_vertices']} affected vertices")
+        if st_["host_entries_scanned"] is not None and \
+                st_["modeled_recompute_entries"]:
+            print(f"streaming host work: "
+                  f"{st_['host_entries_scanned']} entries vs "
+                  f"{st_['modeled_recompute_entries']} modeled "
+                  f"from-scratch recompute floor "
+                  f"({100.0 * st_['host_fraction_of_recompute']:.1f}%)")
+        if st_["median_update_latency_s"] is not None:
+            print(f"median update latency: "
+                  f"{1e3 * st_['median_update_latency_s']:.3f} ms")
     return EXIT_OK
 
 
@@ -1349,6 +1532,7 @@ _COMMANDS: dict[str, Callable[[argparse.ArgumentParser,
                                argparse.Namespace], int]] = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "stream": _cmd_stream,
     "bench": _cmd_bench,
     "stats": _cmd_stats,
     "experiment": _cmd_experiment,

@@ -144,6 +144,15 @@ def _coreset_overrides(dataset: str, shards: int) -> dict[str, Any]:
             "dataset": dataset, "quality": True}
 
 
+def _dynamic_overrides(engine: str, num_batches: int,
+                       batch_size: int) -> dict[str, Any]:
+    """Batch-dynamic workload kwargs.  The stream seed rides in
+    overrides so every replicate applies the identical update stream
+    (the matching itself is deterministic either way)."""
+    return {"stream_engine": engine, "num_batches": num_batches,
+            "batch_size": batch_size, "seed": 5}
+
+
 #: Benchmark suites.  ``smoke`` runs on the tiny blossom-tractable
 #: quality instances so the whole suite (x repeats) costs seconds —
 #: small enough for a per-push CI gate while still crossing every
@@ -246,6 +255,32 @@ SUITES: dict[str, tuple[Workload, ...]] = {
                  overrides=_coreset_overrides("mouse_gene", 4)),
         Workload("coreset_ld-mouse_gene-8", "coreset_ld", "mouse_gene",
                  overrides=_coreset_overrides("mouse_gene", 8)),
+    ),
+    # Batch-dynamic streaming (:mod:`repro.streaming`): every
+    # ``-incremental`` workload has a ``-recompute`` twin on the
+    # identical seeded update stream.  Gated: ``host_entries_scanned``
+    # and ``affected_vertices`` (deterministic, vs the committed
+    # baseline) and the machine-relative update-latency
+    # ``speedup_vs_recompute`` floor — local repair must beat
+    # from-scratch recompute wherever it runs, the wall-clock analogue
+    # of the staging gate.  ``median_update_latency_s`` itself rides
+    # along informationally, never gated absolutely.
+    "dynamic": (
+        Workload("dynamic_ld-mouse_gene-b16-incremental", "dynamic_ld",
+                 "mouse_gene", quality=False,
+                 overrides=_dynamic_overrides("incremental", 12, 16)),
+        Workload("dynamic_ld-mouse_gene-b16-recompute", "dynamic_ld",
+                 "mouse_gene", quality=False,
+                 overrides=_dynamic_overrides("recompute", 12, 16)),
+        # Small batches on the tiny quality instance: the affected
+        # frontier stays well below |V|, so the speedup margin is
+        # robust even where per-batch recompute is already cheap.
+        Workload("dynamic_ld-mouse_gene-q-b8-incremental",
+                 "dynamic_ld", "mouse_gene",
+                 overrides=_dynamic_overrides("incremental", 12, 8)),
+        Workload("dynamic_ld-mouse_gene-q-b8-recompute",
+                 "dynamic_ld", "mouse_gene",
+                 overrides=_dynamic_overrides("recompute", 12, 8)),
     ),
 }
 
@@ -375,6 +410,17 @@ def run_bench(
                 is not None:
             entry["peak_shard_edges"] = ok[0].extra["peak_shard_edges"]
             entry["merge_edges"] = ok[0].extra.get("merge_edges")
+        # Batch-dynamic workloads: the update latency is wall-clock
+        # (informational, machine-dependent); affected_vertices is a
+        # deterministic function of (graph, stream) and gated like
+        # host_entries_scanned.
+        if ok and (ok[0].extra or {}).get("stream_batches") is not None:
+            entry["median_update_latency_s"] = _median(
+                [(r.extra or {}).get("median_update_latency_s")
+                 for r in ok])
+            entry["affected_vertices"] = \
+                (ok[0].extra or {}).get("affected_vertices")
+            entry["stream_batches"] = ok[0].extra["stream_batches"]
         if entry["status"] == "error":
             bad = next(r for r in group if not r.ok)
             entry["error"] = {"type": bad.error["type"],
@@ -396,6 +442,25 @@ def run_bench(
             e["approx_ratio_vs_blossom"] = (
                 e["weight"] / ref
                 if ref and e["status"] == "ok" else None)
+
+    if suite == "dynamic":
+        # Pair every incremental workload with its recompute twin on
+        # the same stream: the per-update latency ratio is the
+        # paper-facing claim (local repair amortised vs O(m) per
+        # batch) and its >= 1.0 floor is gated machine-relatively.
+        by_name = {e["name"]: e for e in entries}
+        for e in entries:
+            if not e["name"].endswith("-incremental"):
+                continue
+            twin = by_name.get(
+                e["name"][:-len("incremental")] + "recompute")
+            if twin is None or e["status"] != "ok" \
+                    or twin["status"] != "ok":
+                continue
+            inc_l = e.get("median_update_latency_s")
+            rec_l = twin.get("median_update_latency_s")
+            if inc_l and rec_l:
+                e["speedup_vs_recompute"] = rec_l / inc_l
 
     from repro.harness.cache import cache_disabled, default_cache_root
     from repro.telemetry.provenance import build_manifest
@@ -478,16 +543,22 @@ def compare_reports(
 
     Returns human-readable problem strings (empty list = gate passes):
     a workload whose gated metric (``median_sim_time_s``,
-    ``host_entries_scanned``, ``peak_shard_edges`` up, or
-    ``approx_ratio_vs_blossom`` down — each only where the baseline
-    recorded one) moves beyond the baseline by more than ``tolerance``
-    (relative), went from ok to error, or disappeared.  Faster-than-baseline and wall-clock changes
+    ``host_entries_scanned``, ``affected_vertices``,
+    ``peak_shard_edges`` up, or ``approx_ratio_vs_blossom`` down —
+    each only where the baseline recorded one) moves beyond the
+    baseline by more than ``tolerance`` (relative), went from ok to
+    error, or disappeared.  Faster-than-baseline and wall-clock changes
     never fail the gate; new workloads without a baseline entry are
     reported as advisory ``"new workload"`` lines only when the
     baseline suite matches.  When the baseline carries a ``staging``
     block, the zero-copy invariant is held too: a current ``speedup``
     below 1.0 (shared-memory attach slower than the ``.npz`` reload it
-    replaces) fails the gate.
+    replaces) fails the gate.  The ``dynamic`` suite's update-latency
+    gate is the same machine-relative shape: wherever the baseline
+    recorded a ``speedup_vs_recompute``, a current value below 1.0 —
+    incremental repair slower than from-scratch recompute on the same
+    stream, same machine — fails, while the absolute latencies stay
+    ungated (CI machines vary; ratios on one machine do not).
     """
     problems: list[str] = []
     if current.get("suite") != baseline.get("suite"):
@@ -539,6 +610,27 @@ def compare_reports(
                 f"{name}: approx_ratio_vs_blossom {cr:.4g} fell below "
                 f"baseline {br:.4g} by more than "
                 f"{100 * tolerance:.1f}%")
+        # Batch-dynamic gates: affected_vertices is deterministic (up-
+        # gated); the update-latency speedup floor is machine-relative
+        # like the staging gate — incremental repair may never lose to
+        # from-scratch recompute on the machine it runs on.
+        bav = b.get("affected_vertices")
+        cav = c.get("affected_vertices")
+        if bav is not None and cav is not None \
+                and cav > bav * (1.0 + tolerance):
+            problems.append(
+                f"{name}: affected_vertices {cav:.6g} exceeds baseline "
+                f"{bav:.6g} by more than {100 * tolerance:.1f}%")
+        if b.get("speedup_vs_recompute") is not None:
+            cs = c.get("speedup_vs_recompute")
+            if not isinstance(cs, (int, float)):
+                problems.append(
+                    f"{name}: speedup_vs_recompute missing (recompute "
+                    f"twin failed?)")
+            elif cs < 1.0:
+                problems.append(
+                    f"{name}: incremental repair is slower than "
+                    f"from-scratch recompute (speedup {cs:.3g}x < 1)")
     b_staging = baseline.get("staging")
     c_staging = current.get("staging") if b_staging else None
     if b_staging and c_staging:

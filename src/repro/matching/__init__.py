@@ -51,6 +51,7 @@ from repro.matching.coreset import (
     shard_assignments,
 )
 from repro.matching.dynamic import DynamicMatcher
+from repro.streaming.scenario import dynamic_ld
 from repro.matching.b_matching import (
     BMatchResult,
     b_suitor,
@@ -93,4 +94,5 @@ __all__ = [
     "greedy_b_matching",
     "is_valid_b_matching",
     "DynamicMatcher",
+    "dynamic_ld",
 ]

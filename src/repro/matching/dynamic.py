@@ -89,6 +89,29 @@ class DynamicMatcher:
     def num_edges(self) -> int:
         return sum(len(a) for a in self._adj) // 2
 
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if edge ``{u, v}`` is currently present."""
+        return 0 <= u < self._n and v in self._adj[u]
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Current undirected edge list ``(u, v, w)`` with ``u < v``,
+        sorted lexicographically — the public face of the adjacency
+        (callers should not reach into the private ``_adj``)."""
+        us: list[int] = []
+        vs: list[int] = []
+        ws: list[float] = []
+        for u in range(self._n):
+            for v, w in self._adj[u].items():
+                if u < v:
+                    us.append(u)
+                    vs.append(v)
+                    ws.append(w)
+        u_arr = np.asarray(us, dtype=np.int64)
+        v_arr = np.asarray(vs, dtype=np.int64)
+        w_arr = np.asarray(ws, dtype=np.float64)
+        order = np.lexsort((v_arr, u_arr))
+        return u_arr[order], v_arr[order], w_arr[order]
+
     @property
     def weight(self) -> float:
         """Current matching weight."""

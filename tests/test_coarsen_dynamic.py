@@ -201,7 +201,7 @@ class TestDynamicMatcher:
         if edges:
             k = data.draw(st.integers(0, len(edges) - 1))
             a, b = edges[k]
-            if b in dm._adj[a]:
+            if dm.has_edge(a, b):
                 dm.delete(a, b)
         snap = dm.to_graph()
         assert is_valid_matching(snap, dm.mate)
